@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ablation: age-based (oldest-first) switch allocation.
+ *
+ * Sec. V-B attributes WP's slowdown under checkerboard placement to
+ * global fairness and points at globally-synchronized-frames work as
+ * the orthogonal fix.  This harness compares round-robin iSLIP
+ * against oldest-first allocation on the placement-sensitive
+ * benchmarks.
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tenoc;
+    using namespace tenoc::bench;
+
+    banner("Ablation - age-based switch allocation (global fairness)",
+           "Sec. V-B: fairness issues slow a few compute cores; "
+           "age-based allocation is the classic mitigation");
+    const double scale = scaleFromArgs(argc, argv, 0.5);
+
+    const char *benches[] = {"WP", "TRA", "BFS", "MUM", "SS", "MM"};
+    std::printf("\n%-6s %12s %12s %10s\n", "bench", "RR iSLIP",
+                "oldest-first", "delta");
+    for (const char *b : benches) {
+        const auto prof = scaleWorkload(findWorkload(b), scale);
+        ChipParams rr = makeConfig(ConfigId::CP_DOR_2VC);
+        ChipParams age = rr;
+        age.mesh.agePriority = true;
+        const auto r1 = runWorkload(rr, prof);
+        const auto r2 = runWorkload(age, prof);
+        std::printf("%-6s %12.1f %12.1f %9s\n", b, r1.ipc, r2.ipc,
+                    pct(r2.ipc / r1.ipc).c_str());
+    }
+    std::printf("\nexpected: small deltas; oldest-first evens out "
+                "per-core progress on placement-sensitive benchmarks "
+                "at some cost in switch utilization.\n");
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Ablation: half-router pipeline depth.  Sec. V-A models half-routers
+ * with a 3-stage pipeline and notes "the performance impact of one
+ * less stage was negligible"; this harness verifies that on the
+ * checkerboard configuration.
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tenoc;
+    using namespace tenoc::bench;
+
+    banner("Ablation - half-router pipeline depth (3 vs 4 stages)",
+           "Sec. V-A: negligible difference");
+    const double scale = scaleFromArgs(argc, argv, 0.5);
+
+    auto p3 = makeConfig(ConfigId::CP_CR_4VC);
+    auto p4 = makeConfig(ConfigId::CP_CR_4VC);
+    p4.mesh.halfPipelineDepth = 4;
+
+    std::fprintf(stderr, "[bench] 3-stage half-routers\n");
+    const auto r3 = runSuite(p3, scale);
+    std::fprintf(stderr, "[bench] 4-stage half-routers\n");
+    const auto r4 = runSuite(p4, scale);
+
+    printSpeedupSeries("3-stage vs 4-stage", r4, r3);
+    std::printf("\nexpected: within ~1-2%% on every benchmark.\n");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ablation: address interleaving granularity across MCs.  The paper
+ * (Sec. II) low-order interleaves every 256 bytes to reduce
+ * hot-spots; this harness sweeps the granularity.
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tenoc;
+    using namespace tenoc::bench;
+
+    banner("Ablation - MC address interleaving granularity",
+           "Sec. II: 256 B low-order interleaving reduces hot-spots");
+    const double scale = scaleFromArgs(argc, argv, 0.5);
+
+    const char *benches[] = {"SCP", "RD", "BFS", "MM"};
+    std::printf("\n%-12s", "interleave");
+    for (const char *b : benches)
+        std::printf(" %10s", b);
+    std::printf("   (IPC)\n");
+
+    for (unsigned bytes : {64u, 256u, 1024u, 4096u}) {
+        std::printf("%-12u", bytes);
+        for (const char *b : benches) {
+            ChipParams p = makeConfig(ConfigId::BASELINE_TB_DOR);
+            p.mc.interleaveBytes = bytes;
+            const auto r =
+                runWorkload(p, scaleWorkload(findWorkload(b), scale));
+            std::printf(" %10.1f", r.ipc);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nexpected: coarse interleaving creates temporary "
+                "MC hot-spots for streaming benchmarks; 256 B is a "
+                "good operating point.\n");
+    return 0;
+}

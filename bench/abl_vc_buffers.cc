@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation: VC buffer depth (Table III uses 8 flits per VC).  Open-
+ * loop saturation throughput versus buffer depth on the baseline and
+ * checkerboard networks.
+ */
+
+#include "common.hh"
+#include "noc/openloop.hh"
+
+int
+main()
+{
+    using namespace tenoc;
+    using namespace tenoc::bench;
+
+    banner("Ablation - VC buffer depth (open loop)",
+           "deeper buffers absorb bursts; Table III baseline is 8");
+
+    for (const char *which : {"TB-DOR", "CP-CR"}) {
+        std::printf("\n--- %s ---\n", which);
+        std::printf("%-8s %14s %16s\n", "depth", "lat @0.04",
+                    "saturation rate");
+        for (unsigned depth : {2u, 4u, 8u, 16u, 32u}) {
+            ChipParams cp = makeConfig(
+                std::string(which) == "TB-DOR"
+                    ? ConfigId::BASELINE_TB_DOR : ConfigId::CP_CR_4VC);
+            OpenLoopParams p;
+            p.net = cp.mesh;
+            p.net.vcDepth = depth;
+            p.injectionRate = 0.04;
+            p.seed = 77;
+            const auto low = runOpenLoop(p);
+            const auto sweep = sweepOpenLoop(p, 0.02, 0.01, 0.16);
+            double sat = 0.16;
+            if (!sweep.empty() && sweep.back().saturated)
+                sat = sweep.back().offeredLoad;
+            std::printf("%-8u %14.1f %16.3f\n", depth, low.avgLatency,
+                        sat);
+        }
+    }
+    std::printf("\nexpected: latency at low load is depth-insensitive; "
+                "saturation rate grows with depth and flattens near "
+                "the Table III value of 8.\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Calibration matrix: the whole Table I suite across every major
+ * configuration, with per-benchmark speedups, classification checks,
+ * and the paper's headline harmonic means.  This is the tool used to
+ * calibrate `src/gpu/workloads.cc`; run it after touching workload
+ * parameters, the DRAM model, or the router.
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tenoc;
+    using namespace tenoc::bench;
+
+    banner("Calibration matrix - all benchmarks x all designs",
+           "targets: perfect +36%, 2x +27%, CP +13.2%, CR -1.1%, "
+           "combined +17%, IPC/mm^2 +25.4%");
+    const double scale = scaleFromArgs(argc, argv, 0.5);
+
+    const auto base = suite(ConfigId::BASELINE_TB_DOR, scale);
+    const auto perf = suite(ConfigId::PERFECT, scale);
+    const auto two = suite(ConfigId::TB_DOR_2X, scale);
+    const auto cp = suite(ConfigId::CP_DOR_2VC, scale);
+    const auto dbl = suite(ConfigId::CP_CR_DOUBLE, scale);
+    const auto thr = suite(ConfigId::THROUGHPUT_EFFECTIVE, scale);
+    const auto sgl = suite(ConfigId::CP_CR_2INJ_SINGLE, scale);
+
+    auto sp = [](const SuiteRun &b, const SuiteRun &t) {
+        return 100.0 * (t.result.ipc / b.result.ipc - 1.0);
+    };
+
+    std::printf("\n%-5s %-4s %8s %7s %7s %7s %7s %7s %7s %6s %6s\n",
+                "bench", "cls", "baseIPC", "perf%", "2x%", "cp%",
+                "dbl%", "thr%", "2Psgl%", "acc", "stall%");
+    unsigned misclassified = 0;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        const auto cls = classify(
+            perf[i].result.ipc / base[i].result.ipc,
+            perf[i].result.acceptedBytesPerNode);
+        misclassified += (cls != base[i].cls);
+        std::printf("%-5s %-4s %8.1f %7.1f %7.1f %7.1f %7.1f %7.1f "
+                    "%7.1f %6.2f %6.1f%s\n",
+                    base[i].abbr.c_str(),
+                    trafficClassName(base[i].cls), base[i].result.ipc,
+                    sp(base[i], perf[i]), sp(base[i], two[i]),
+                    sp(base[i], cp[i]), sp(base[i], dbl[i]),
+                    sp(base[i], thr[i]), sp(base[i], sgl[i]),
+                    perf[i].result.acceptedBytesPerNode,
+                    100.0 * base[i].result.mcStallFractionMean,
+                    cls != base[i].cls ? "  <-class mismatch" : "");
+    }
+
+    std::printf("\nharmonic-mean speedups vs baseline:\n");
+    std::printf("  perfect NoC     %8s   (paper +36%%)\n",
+                pct(harmonicMeanSpeedup(base, perf)).c_str());
+    std::printf("  2x bandwidth    %8s   (paper +27%%)\n",
+                pct(harmonicMeanSpeedup(base, two)).c_str());
+    std::printf("  CP placement    %8s   (paper +13.2%%)\n",
+                pct(harmonicMeanSpeedup(base, cp)).c_str());
+    std::printf("  double network  %8s   (paper ~0%% vs single; "
+                "see DESIGN.md 5)\n",
+                pct(harmonicMeanSpeedup(base, dbl)).c_str());
+    std::printf("  thr-eff (paper) %8s   (paper +17%%)\n",
+                pct(harmonicMeanSpeedup(base, thr)).c_str());
+    std::printf("  CP+CR+2P single %8s\n",
+                pct(harmonicMeanSpeedup(base, sgl)).c_str());
+    std::printf("  class mismatches: %u / 31 (target 0)\n",
+                misclassified);
+
+    // Headline throughput-effectiveness.
+    const double base_eff = throughputEffectiveness(
+        harmonicMeanIpc(base), chipAreaFor(ConfigId::BASELINE_TB_DOR));
+    const double sgl_eff = throughputEffectiveness(
+        harmonicMeanIpc(sgl), chipAreaFor(ConfigId::CP_CR_2INJ_SINGLE));
+    std::printf("  IPC/mm^2 (CP+CR+2P single) %s  (paper headline "
+                "+25.4%%)\n", pct(sgl_eff / base_eff).c_str());
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 16: checkerboard (staggered) MC placement versus the
+ * baseline top-bottom placement, full routers and DOR in both.
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tenoc;
+    using namespace tenoc::bench;
+
+    banner("Figure 16 - checkerboard MC placement (CP vs TB)",
+           "+13.2% HM; WP loses ~6% to global-fairness effects");
+    const double scale = scaleFromArgs(argc, argv);
+
+    const auto tb = suite(ConfigId::BASELINE_TB_DOR, scale);
+    const auto cp = suite(ConfigId::CP_DOR_2VC, scale);
+
+    printSpeedupSeries("CP vs TB", tb, cp);
+    printClassMeans(tb, cp);
+    std::printf("\npaper: +13.2%% HM; staggered placement relieves "
+                "the reply hotspots that adjacent top/bottom MCs "
+                "create.\n");
+    return 0;
+}

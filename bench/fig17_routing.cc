@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 17: checkerboard routing with half-routers (CP CR 4VC) and
+ * DOR with 4 VCs, both relative to DOR with 2 VCs (all with
+ * checkerboard placement).  The point: halving router connectivity
+ * costs ~1% performance while cutting router area 14%.
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tenoc;
+    using namespace tenoc::bench;
+
+    banner("Figure 17 - checkerboard routing vs DOR",
+           "CP-CR-4VC within ~1.1% of CP-DOR-2VC");
+    const double scale = scaleFromArgs(argc, argv);
+
+    const auto dor2 = suite(ConfigId::CP_DOR_2VC, scale);
+    const auto dor4 = suite(ConfigId::CP_DOR_4VC, scale);
+    const auto cr4 = suite(ConfigId::CP_CR_4VC, scale);
+
+    const auto sp4 = speedups(dor2, dor4);
+    const auto spc = speedups(dor2, cr4);
+    std::printf("\n%-6s %-6s %14s %14s\n", "bench", "class",
+                "CP-DOR-4VC", "CP-CR-4VC");
+    for (std::size_t i = 0; i < dor2.size(); ++i) {
+        std::printf("%-6s %-6s %14s %14s\n", dor2[i].abbr.c_str(),
+                    trafficClassName(dor2[i].cls),
+                    pct(sp4[i]).c_str(), pct(spc[i]).c_str());
+    }
+    std::printf("%-6s %-6s %14s %14s  (harmonic means; paper: CR "
+                "-1.1%%)\n", "HM", "all",
+                pct(harmonicMeanSpeedup(dor2, dor4)).c_str(),
+                pct(harmonicMeanSpeedup(dor2, cr4)).c_str());
+
+    std::printf("\nrouter-area payoff (Table VI): CP-CR routers "
+                "59.2 mm^2 vs 69.0 mm^2 all-full baseline (-14.2%%).\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 20 (and the Sec. V-F headline): the combined
+ * throughput-effective design - checkerboard placement + checkerboard
+ * routing + dedicated double network + 2 injection ports at MCs -
+ * versus the top-bottom DOR baseline, plus IPC per mm^2.
+ *
+ * We additionally report the single-network variant (CP + CR + 2
+ * injection ports, no channel slicing), which is the
+ * throughput-effective sweet spot of our flit-accurate model (see
+ * EXPERIMENTS.md for the analysis of the difference).
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tenoc;
+    using namespace tenoc::bench;
+
+    banner("Figure 20 + headline - combined throughput-effective design",
+           "+17% HM IPC; +25.4% IPC/mm^2 vs the balanced mesh");
+    const double scale = scaleFromArgs(argc, argv);
+
+    const auto base = suite(ConfigId::BASELINE_TB_DOR, scale);
+    const auto thr = suite(ConfigId::THROUGHPUT_EFFECTIVE, scale);
+    const auto sgl = suite(ConfigId::CP_CR_2INJ_SINGLE, scale);
+    const auto perf = suite(ConfigId::PERFECT, scale);
+
+    const auto spt = speedups(base, thr);
+    const auto sps = speedups(base, sgl);
+    std::printf("\n%-6s %-6s %20s %24s\n", "bench", "class",
+                "Thr.Eff. (paper cfg)", "CP+CR+2P single (ours)");
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        std::printf("%-6s %-6s %20s %24s\n", base[i].abbr.c_str(),
+                    trafficClassName(base[i].cls), pct(spt[i]).c_str(),
+                    pct(sps[i]).c_str());
+    }
+    const double hm_thr = harmonicMeanSpeedup(base, thr);
+    const double hm_sgl = harmonicMeanSpeedup(base, sgl);
+    const double hm_perf = harmonicMeanSpeedup(base, perf);
+    std::printf("%-6s %-6s %20s %24s  (harmonic means)\n", "HM", "all",
+                pct(hm_thr).c_str(), pct(hm_sgl).c_str());
+    std::printf("\nperfect-NoC HM speedup: %s (paper: +36%%; the "
+                "combined design captures roughly half of it)\n",
+                pct(hm_perf).c_str());
+
+    // Headline: throughput-effectiveness (IPC/mm^2).
+    const double base_area = chipAreaFor(ConfigId::BASELINE_TB_DOR);
+    const double thr_area = chipAreaFor(ConfigId::THROUGHPUT_EFFECTIVE);
+    const double sgl_area = chipAreaFor(ConfigId::CP_CR_2INJ_SINGLE);
+    const double base_eff =
+        throughputEffectiveness(harmonicMeanIpc(base), base_area);
+    const double thr_eff =
+        throughputEffectiveness(harmonicMeanIpc(thr), thr_area);
+    const double sgl_eff =
+        throughputEffectiveness(harmonicMeanIpc(sgl), sgl_area);
+
+    std::printf("\n%-30s %10s %12s %12s %16s\n", "design", "HM IPC",
+                "chip [mm^2]", "IPC/mm^2", "vs baseline");
+    std::printf("%-30s %10.1f %12.1f %12.5f %16s\n", "Balanced mesh",
+                harmonicMeanIpc(base), base_area, base_eff, "-");
+    std::printf("%-30s %10.1f %12.1f %12.5f %16s\n",
+                "Thr.Eff. (paper config)", harmonicMeanIpc(thr),
+                thr_area, thr_eff, pct(thr_eff / base_eff).c_str());
+    std::printf("%-30s %10.1f %12.1f %12.5f %16s\n",
+                "CP+CR+2P single (ours)", harmonicMeanIpc(sgl),
+                sgl_area, sgl_eff, pct(sgl_eff / base_eff).c_str());
+    std::printf("\npaper headline: +25.4%% IPC/mm^2 (IPC +17%%, chip "
+                "area 576 -> 537.4 mm^2).\n");
+    return 0;
+}

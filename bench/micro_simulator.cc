@@ -1,0 +1,100 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: cycles
+ * per second for routers, the mesh, the DRAM channel, and a full
+ * closed-loop chip.  Useful when optimizing the simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/experiments.hh"
+#include "noc/mesh_network.hh"
+
+namespace
+{
+
+using namespace tenoc;
+
+void
+BM_MeshCycleIdle(benchmark::State &state)
+{
+    MeshNetworkParams p;
+    MeshNetwork net(p);
+    Cycle now = 0;
+    for (auto _ : state)
+        net.cycle(now++);
+    state.SetItemsProcessed(static_cast<std::int64_t>(now));
+}
+BENCHMARK(BM_MeshCycleIdle);
+
+void
+BM_MeshCycleLoaded(benchmark::State &state)
+{
+    MeshNetworkParams p;
+    MeshNetwork net(p);
+    struct Sink : PacketSink
+    {
+        bool tryReserve(const Packet &) override { return true; }
+        void deliver(PacketPtr, Cycle) override {}
+    } sink;
+    const auto &topo = net.topology();
+    for (NodeId n = 0; n < topo.numNodes(); ++n)
+        net.setSink(n, &sink);
+    Rng rng(1);
+    Cycle now = 0;
+    for (auto _ : state) {
+        for (NodeId core : topo.computeNodes()) {
+            if (rng.nextBool(0.05) && net.canInject(core, 0)) {
+                auto pkt = std::make_shared<Packet>();
+                pkt->src = core;
+                pkt->dst = rng.pick(topo.mcNodes());
+                pkt->sizeFlits = 1;
+                pkt->sizeBytes = 16;
+                net.inject(std::move(pkt), now);
+            }
+        }
+        net.cycle(now++);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(now));
+}
+BENCHMARK(BM_MeshCycleLoaded);
+
+void
+BM_DramChannelStream(benchmark::State &state)
+{
+    DramChannelParams p;
+    DramChannel ch(p);
+    Cycle now = 0;
+    Addr addr = 0;
+    for (auto _ : state) {
+        if (ch.canAccept()) {
+            DramRequest req;
+            req.localAddr = addr;
+            addr += 64;
+            ch.push(std::move(req), now);
+        }
+        ch.cycle(now++);
+        ch.popCompleted();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(now));
+}
+BENCHMARK(BM_DramChannelStream);
+
+void
+BM_ClosedLoopChip(benchmark::State &state)
+{
+    // Whole-chip simulation rate (interconnect cycles per second).
+    for (auto _ : state) {
+        const auto prof = scaleWorkload(findWorkload("MM"), 0.02);
+        const auto r =
+            runWorkload(makeConfig(ConfigId::BASELINE_TB_DOR), prof);
+        benchmark::DoNotOptimize(r.ipc);
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(r.icntCycles));
+    }
+}
+BENCHMARK(BM_ClosedLoopChip)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Trace-replay example: drive the closed-loop chip from per-warp
+ * instruction traces with REAL tag-array L1/L2 caches (no statistical
+ * locality), the fully structural mode of the simulator.
+ *
+ * Usage:
+ *   trace_replay                 synthesizes a demo trace and runs it
+ *   trace_replay FILE            replays FILE on every core
+ *
+ * Trace format (see gpu/inst_source.hh):
+ *   <warp> A                 # one ALU instruction
+ *   <warp> L <addr> [...]    # load touching these line addresses
+ *   <warp> S <addr> [...]    # store
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "accel/experiments.hh"
+
+using namespace tenoc;
+
+namespace
+{
+
+/** Builds a small streaming-with-reuse demo trace. */
+std::string
+demoTrace()
+{
+    std::ostringstream os;
+    const unsigned warps = 16;
+    const unsigned iters = 60;
+    for (unsigned i = 0; i < iters; ++i) {
+        for (unsigned w = 0; w < warps; ++w) {
+            // Streaming read (coalesced across warps)...
+            const Addr a = (static_cast<Addr>(i) * warps + w) * 64;
+            os << w << " L 0x" << std::hex << a << std::dec << "\n";
+            // ...a few ALU instructions...
+            os << w << " A\n" << w << " A\n" << w << " A\n";
+            // ...and an occasional reused-table load + result store.
+            if (i % 4 == 3) {
+                os << w << " L 0x" << std::hex << (0x800000 + w * 64)
+                   << std::dec << "\n";
+                os << w << " S 0x" << std::hex << (0xc00000 + a)
+                   << std::dec << "\n";
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string text;
+    if (argc > 1) {
+        auto src = TraceInstSource::fromFile(argv[1]);
+        (void)src; // validate early; rebuilt per core below
+        std::ifstream f(argv[1]);
+        std::stringstream ss;
+        ss << f.rdbuf();
+        text = ss.str();
+    } else {
+        text = demoTrace();
+        std::printf("no trace given; using a built-in streaming demo "
+                    "trace\n");
+    }
+
+    // The profile supplies structure (MLP, cache geometry); with
+    // realCaches the statistical hit rates are ignored.
+    KernelProfile profile;
+    profile.abbr = "TRACE";
+    profile.name = "trace replay";
+    profile.realCaches = true;
+    profile.maxPendingLines = 8;
+
+    for (ConfigId id : {ConfigId::BASELINE_TB_DOR,
+                        ConfigId::CP_CR_2INJ_SINGLE}) {
+        Chip chip(makeConfig(id), profile,
+                  [&](unsigned) { return TraceInstSource::fromText(text); });
+        const auto r = chip.run();
+        std::printf("%-28s IPC %7.2f  net-lat %6.1f  "
+                    "DRAM row-hit %.2f%s\n",
+                    configName(id), r.ipc, r.avgNetLatency,
+                    r.dramRowHitRate, r.timedOut ? "  TIMEOUT" : "");
+    }
+    std::printf("\n(real-tag caches: L1 16KB/4-way per core, L2 128KB/"
+                "8-way per MC; locality comes from the trace itself)\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Experiment driver implementation.
+ */
+
+#include "accel/experiments.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace tenoc
+{
+
+ChipResult
+runWorkload(const ChipParams &params, const KernelProfile &profile)
+{
+    Chip chip(params, profile);
+    return chip.run();
+}
+
+std::vector<SuiteRun>
+runSuite(const ChipParams &params, double scale)
+{
+    std::vector<SuiteRun> out;
+    for (const auto &profile : workloadSuite()) {
+        const KernelProfile scaled =
+            scale == 1.0 ? profile : scaleWorkload(profile, scale);
+        SuiteRun run;
+        run.abbr = profile.abbr;
+        run.cls = profile.expectedClass;
+        run.result = runWorkload(params, scaled);
+        out.push_back(std::move(run));
+    }
+    return out;
+}
+
+std::vector<SuiteRun>
+runSuite(ConfigId config, double scale, std::uint64_t seed)
+{
+    return runSuite(makeConfig(config, seed), scale);
+}
+
+double
+envScale(double def)
+{
+    const char *env = std::getenv("TENOC_SCALE");
+    if (!env)
+        return def;
+    const double v = std::atof(env);
+    if (v <= 0.0) {
+        warn("ignoring invalid TENOC_SCALE='", env, "'");
+        return def;
+    }
+    return v;
+}
+
+} // namespace tenoc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Metrics implementation.
+ */
+
+#include "accel/metrics.hh"
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace tenoc
+{
+
+double
+harmonicMeanIpc(const std::vector<SuiteRun> &runs)
+{
+    std::vector<double> v;
+    v.reserve(runs.size());
+    for (const auto &r : runs)
+        v.push_back(r.result.ipc);
+    return harmonicMean(v);
+}
+
+std::vector<double>
+speedups(const std::vector<SuiteRun> &base,
+         const std::vector<SuiteRun> &test)
+{
+    tenoc_assert(base.size() == test.size(),
+                 "suite size mismatch in speedups()");
+    std::vector<double> out;
+    out.reserve(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        tenoc_assert(base[i].abbr == test[i].abbr,
+                     "suite order mismatch at ", base[i].abbr, " vs ",
+                     test[i].abbr);
+        out.push_back(base[i].result.ipc > 0.0
+                          ? test[i].result.ipc / base[i].result.ipc
+                          : 0.0);
+    }
+    return out;
+}
+
+double
+harmonicMeanSpeedup(const std::vector<SuiteRun> &base,
+                    const std::vector<SuiteRun> &test)
+{
+    return harmonicMean(speedups(base, test));
+}
+
+TrafficClass
+classify(double perfect_speedup, double accepted_bytes_per_node)
+{
+    const bool high_speedup = perfect_speedup > 1.30;
+    const bool heavy = accepted_bytes_per_node > 1.0;
+    if (high_speedup)
+        return TrafficClass::HH; // no HL group exists (Sec. III-B)
+    return heavy ? TrafficClass::LH : TrafficClass::LL;
+}
+
+double
+harmonicMeanIpcOfClass(const std::vector<SuiteRun> &runs,
+                       TrafficClass cls)
+{
+    std::vector<double> v;
+    for (const auto &r : runs)
+        if (r.cls == cls)
+            v.push_back(r.result.ipc);
+    return harmonicMean(v);
+}
+
+} // namespace tenoc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Suite-level metrics: harmonic-mean IPC and speedups, the paper's
+ * LL/LH/HH classification rule, and throughput-effectiveness.
+ */
+
+#ifndef TENOC_ACCEL_METRICS_HH
+#define TENOC_ACCEL_METRICS_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/chip.hh"
+
+namespace tenoc
+{
+
+/** One benchmark's result under one configuration. */
+struct SuiteRun
+{
+    std::string abbr;
+    TrafficClass cls = TrafficClass::LL;
+    ChipResult result;
+};
+
+/** Harmonic mean of IPC over a suite. */
+double harmonicMeanIpc(const std::vector<SuiteRun> &runs);
+
+/**
+ * Harmonic mean of per-benchmark speedups of `test` over `base`
+ * (suites must be in the same benchmark order).
+ */
+double harmonicMeanSpeedup(const std::vector<SuiteRun> &base,
+                           const std::vector<SuiteRun> &test);
+
+/** Per-benchmark speedup (test over base), same order as inputs. */
+std::vector<double> speedups(const std::vector<SuiteRun> &base,
+                             const std::vector<SuiteRun> &test);
+
+/**
+ * The paper's two-letter classification (Sec. III-B): first letter H
+ * if the perfect-NoC speedup exceeds 30%, second letter H if accepted
+ * traffic with a perfect NoC exceeds 1 byte/cycle/node.
+ */
+TrafficClass classify(double perfect_speedup,
+                      double accepted_bytes_per_node);
+
+/** Mean over the subset of runs in a given class. */
+double harmonicMeanIpcOfClass(const std::vector<SuiteRun> &runs,
+                              TrafficClass cls);
+
+} // namespace tenoc
+
+#endif // TENOC_ACCEL_METRICS_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Area model implementation.
+ */
+
+#include "area/area_model.hh"
+
+#include "common/log.hh"
+
+namespace tenoc
+{
+
+unsigned
+RouterAreaParams::crosspoints() const
+{
+    if (half) {
+        // E->W, W->E, N->S, S->N through paths, plus injection fan-out
+        // to the four directions and ejection fan-in from them
+        // (Fig. 13).
+        return 4 + 4 * injPorts + 4 * ejPorts;
+    }
+    // Matrix crossbar between all buffered inputs and all outputs.
+    return (4 + injPorts) * (4 + ejPorts);
+}
+
+RouterAreaBreakdown
+AreaModel::routerArea(const RouterAreaParams &p) const
+{
+    tenoc_assert(p.vcs >= 1 && p.buffersPerVc >= 1 && p.channelBytes > 0,
+                 "invalid router area parameters");
+    RouterAreaBreakdown out;
+    const double xp = static_cast<double>(p.crosspoints());
+    out.crossbar = cal_.crossbarPerCrosspointByte2 * xp *
+        p.channelBytes * p.channelBytes;
+    out.buffer = cal_.bufferPerByte * p.bufferedPorts() * p.vcs *
+        p.buffersPerVc * p.channelBytes;
+    // Allocator complexity grows with VC count squared and with the
+    // fraction of the full 5x5 switch that must be arbitrated.
+    const double switch_frac = xp / 25.0;
+    out.allocator = cal_.allocatorPerVc2 * p.vcs * p.vcs *
+        switch_frac * switch_frac;
+    out.total = out.crossbar + out.buffer + out.allocator;
+    return out;
+}
+
+double
+AreaModel::linkArea(double channel_bytes) const
+{
+    return cal_.linkPerByte * channel_bytes;
+}
+
+unsigned
+AreaModel::meshDirectedLinks(unsigned rows, unsigned cols)
+{
+    // Each adjacent pair is connected by one link per direction.
+    return 2 * (rows * (cols - 1) + cols * (rows - 1));
+}
+
+NocAreaReport
+AreaModel::meshArea(const MeshAreaSpec &spec) const
+{
+    tenoc_assert(spec.rows >= 2 && spec.cols >= 2, "mesh too small");
+    tenoc_assert(spec.subnetworks >= 1, "need at least one subnetwork");
+
+    NocAreaReport report;
+    report.linkAreaPerLink = linkArea(spec.channelBytes);
+    const unsigned links = meshDirectedLinks(spec.rows, spec.cols);
+    report.linkAreaSum = report.linkAreaPerLink * links *
+        spec.subnetworks;
+
+    const unsigned nodes = spec.rows * spec.cols;
+    unsigned half_nodes = 0;
+    if (spec.checkerboard) {
+        for (unsigned y = 0; y < spec.rows; ++y)
+            for (unsigned x = 0; x < spec.cols; ++x)
+                if ((x + y) % 2 == 1)
+                    ++half_nodes;
+    }
+    const unsigned full_nodes = nodes - half_nodes;
+
+    auto base_params = [&](bool half) {
+        RouterAreaParams p;
+        p.half = half;
+        p.vcs = spec.vcs;
+        p.buffersPerVc = spec.buffersPerVc;
+        p.channelBytes = spec.channelBytes;
+        return p;
+    };
+
+    const auto full_b = routerArea(base_params(false));
+    const auto half_b = routerArea(base_params(true));
+
+    double router_sum = 0.0;
+    report.routerTypes.emplace_back("full", full_b);
+    if (half_nodes > 0)
+        report.routerTypes.emplace_back("half", half_b);
+
+    // MC terminal ports are direction-specific: with a dedicated
+    // double network, extra ejection ports live on the request slice
+    // and extra injection ports on the reply slice (Sec. IV-D), so
+    // each slice upgrades its MC routers independently.
+    for (unsigned sub = 0; sub < spec.subnetworks; ++sub) {
+        unsigned inj = spec.mcInjPorts;
+        unsigned ej = spec.mcEjPorts;
+        if (spec.subnetworks == 2) {
+            if (sub == 0)
+                inj = 1; // request slice: MCs only eject
+            else
+                ej = 1;  // reply slice: MCs only inject
+        }
+        const bool multi = (inj > 1 || ej > 1);
+        unsigned plain_half = half_nodes;
+        unsigned plain_full = full_nodes;
+        double mc_total = 0.0;
+        if (multi) {
+            RouterAreaParams mc_p = base_params(spec.checkerboard);
+            mc_p.injPorts = inj;
+            mc_p.ejPorts = ej;
+            const auto mc_b = routerArea(mc_p);
+            mc_total = spec.numMcs * mc_b.total;
+            if (spec.checkerboard) {
+                tenoc_assert(spec.numMcs <= plain_half,
+                             "more multi-port MCs than half-routers");
+                plain_half -= spec.numMcs;
+            } else {
+                tenoc_assert(spec.numMcs <= plain_full,
+                             "more multi-port MCs than routers");
+                plain_full -= spec.numMcs;
+            }
+            report.routerTypes.emplace_back(
+                sub == 0 && spec.subnetworks == 2
+                    ? "mc-multiport-req" : "mc-multiport",
+                mc_b);
+        }
+        router_sum += plain_full * full_b.total +
+            plain_half * half_b.total + mc_total;
+    }
+    report.routerAreaSum = router_sum;
+    return report;
+}
+
+double
+AreaModel::chipArea(const NocAreaReport &noc, double compute_mm2) const
+{
+    return compute_mm2 + noc.nocTotal();
+}
+
+double
+throughputEffectiveness(double ipc, double chip_area_mm2)
+{
+    tenoc_assert(chip_area_mm2 > 0.0, "chip area must be positive");
+    return ipc / chip_area_mm2;
+}
+
+} // namespace tenoc

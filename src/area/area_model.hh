@@ -1,0 +1,142 @@
+/**
+ * @file
+ * ORION-2.0-style analytical NoC area model (65 nm).
+ *
+ * The paper (Sec. V-F, Tables IV and VI) uses ORION 2.0 with a matrix
+ * crossbar and SRAM buffers at 65 nm to compare router organizations.
+ * We reproduce that comparison with a small analytical model whose
+ * constants are calibrated against the published per-component areas in
+ * Table VI:
+ *
+ *  - crossbar: matrix crossbar, area proportional to the number of
+ *    crosspoints times the square of the channel width (wire-dominated),
+ *  - input buffers: SRAM, area proportional to total storage bytes
+ *    (ports x VCs x depth x flit bytes),
+ *  - allocators: area proportional to VC^2 scaled by switch complexity,
+ *  - links: area proportional to channel width per directed link.
+ *
+ * A full-router's crossbar has (4 + injPorts) x (4 + ejPorts)
+ * crosspoints; a half-router (Fig. 13) has only the E<->W and N<->S
+ * through paths plus injection/ejection fan-in/out, i.e.
+ * 4 + 4*injPorts + 4*ejPorts crosspoints, which reproduces the paper's
+ * ~52% half/full crossbar ratio and ~56% router ratio.
+ */
+
+#ifndef TENOC_AREA_AREA_MODEL_HH
+#define TENOC_AREA_AREA_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tenoc
+{
+
+/** Physical description of one router for area purposes. */
+struct RouterAreaParams
+{
+    bool half = false;            ///< half-router (limited connectivity)
+    unsigned vcs = 2;             ///< virtual channels per input port
+    unsigned buffersPerVc = 8;    ///< flit slots per VC
+    double channelBytes = 16.0;   ///< channel/flit width in bytes
+    unsigned injPorts = 1;        ///< injection ports (Sec. IV-D)
+    unsigned ejPorts = 1;         ///< ejection ports
+
+    /** Number of crossbar crosspoints for this organization. */
+    unsigned crosspoints() const;
+    /** Number of buffered input ports (4 mesh directions + injection). */
+    unsigned bufferedPorts() const { return 4 + injPorts; }
+};
+
+/** Per-component area breakdown of one router, in mm^2. */
+struct RouterAreaBreakdown
+{
+    double crossbar = 0.0;
+    double buffer = 0.0;
+    double allocator = 0.0;
+    double total = 0.0;
+};
+
+/** Description of a (possibly sliced / heterogeneous) mesh for area. */
+struct MeshAreaSpec
+{
+    unsigned rows = 6;
+    unsigned cols = 6;
+    unsigned subnetworks = 1;      ///< channel-sliced parallel networks
+    double channelBytes = 16.0;    ///< per-subnetwork channel width
+    unsigned vcs = 2;
+    unsigned buffersPerVc = 8;
+    bool checkerboard = false;     ///< alternate half-/full-routers
+    unsigned mcInjPorts = 1;       ///< injection ports at MC routers
+    unsigned mcEjPorts = 1;        ///< ejection ports at MC routers
+    unsigned numMcs = 0;           ///< number of MC-attached routers
+};
+
+/** Aggregate NoC area report (mm^2). */
+struct NocAreaReport
+{
+    double linkAreaPerLink = 0.0;
+    double linkAreaSum = 0.0;
+    double routerAreaSum = 0.0;
+    /** One breakdown per distinct router type present in the spec. */
+    std::vector<std::pair<std::string, RouterAreaBreakdown>> routerTypes;
+
+    double nocTotal() const { return linkAreaSum + routerAreaSum; }
+};
+
+/**
+ * Calibrated 65 nm area model.  All outputs are mm^2.
+ */
+class AreaModel
+{
+  public:
+    /** Calibration constants (defaults match Table VI). */
+    struct Calibration
+    {
+        /** mm^2 per crosspoint per byte^2 of channel width. */
+        double crossbarPerCrosspointByte2 = 1.73 / (25.0 * 16.0 * 16.0);
+        /** mm^2 per byte of SRAM buffer storage. */
+        double bufferPerByte = 0.17 / (5.0 * 2.0 * 8.0 * 16.0);
+        /** mm^2 per VC^2 at full 5x5 switch complexity. */
+        double allocatorPerVc2 = 0.004 / (2.0 * 2.0);
+        /** mm^2 per byte of channel width per directed link. */
+        double linkPerByte = 0.175 / 16.0;
+    };
+
+    AreaModel() = default;
+    explicit AreaModel(const Calibration &cal) : cal_(cal) {}
+
+    /** Area of one router, decomposed by component. */
+    RouterAreaBreakdown routerArea(const RouterAreaParams &p) const;
+
+    /** Area of one directed inter-router link. */
+    double linkArea(double channel_bytes) const;
+
+    /** Number of directed inter-router links in a rows x cols mesh. */
+    static unsigned meshDirectedLinks(unsigned rows, unsigned cols);
+
+    /** Full report for a mesh NoC (all subnetworks summed). */
+    NocAreaReport meshArea(const MeshAreaSpec &spec) const;
+
+    /**
+     * Total chip area given a compute-logic area (the paper subtracts
+     * the baseline NoC from the GTX280's 576 mm^2 to get 486 mm^2).
+     */
+    double chipArea(const NocAreaReport &noc,
+                    double compute_mm2 = kComputeAreaMm2) const;
+
+    /** GTX280 die area at 65 nm used as the reference (Sec. V-F). */
+    static constexpr double kGtx280AreaMm2 = 576.0;
+    /** Compute-portion area (576 minus baseline NoC). */
+    static constexpr double kComputeAreaMm2 = 486.0;
+
+  private:
+    Calibration cal_;
+};
+
+/** Throughput-effectiveness: application IPC per mm^2 of chip area. */
+double throughputEffectiveness(double ipc, double chip_area_mm2);
+
+} // namespace tenoc
+
+#endif // TENOC_AREA_AREA_MODEL_HH

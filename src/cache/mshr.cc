@@ -1,0 +1,62 @@
+/**
+ * @file
+ * MshrTable implementation.
+ */
+
+#include "cache/mshr.hh"
+
+#include "common/log.hh"
+
+namespace tenoc
+{
+
+MshrTable::MshrTable(unsigned entries, unsigned max_merged)
+    : entries_(entries), max_merged_(max_merged)
+{
+    tenoc_assert(entries_ >= 1 && max_merged_ >= 1, "bad MSHR geometry");
+}
+
+bool
+MshrTable::canAllocate(Addr line) const
+{
+    auto it = table_.find(line);
+    if (it != table_.end())
+        return it->second.size() < max_merged_;
+    return table_.size() < entries_;
+}
+
+bool
+MshrTable::allocate(Addr line, std::uint64_t waiter)
+{
+    auto it = table_.find(line);
+    if (it != table_.end()) {
+        tenoc_assert(it->second.size() < max_merged_,
+                     "MSHR merge overflow");
+        it->second.push_back(waiter);
+        ++merges_;
+        return false;
+    }
+    tenoc_assert(table_.size() < entries_, "MSHR table overflow");
+    table_.emplace(line, std::vector<std::uint64_t>{waiter});
+    ++allocations_;
+    return true;
+}
+
+std::vector<std::uint64_t>
+MshrTable::release(Addr line)
+{
+    auto it = table_.find(line);
+    tenoc_assert(it != table_.end(), "release of unknown MSHR line");
+    std::vector<std::uint64_t> waiters = std::move(it->second);
+    table_.erase(it);
+    return waiters;
+}
+
+std::size_t
+MshrTable::waiters(Addr line) const
+{
+    auto it = table_.find(line);
+    return it == table_.end() ? 0 : it->second.size();
+}
+
+} // namespace tenoc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Miss-status holding registers (64 per core, Table II).
+ *
+ * Tracks outstanding line refills; accesses to an already-pending line
+ * merge onto the existing entry instead of issuing another request.
+ * A full table stalls the core's memory stage (the closed-loop
+ * self-throttling the paper's simulations rely on).
+ */
+
+#ifndef TENOC_CACHE_MSHR_HH
+#define TENOC_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tenoc
+{
+
+/** MSHR table keyed by line address. */
+class MshrTable
+{
+  public:
+    /**
+     * @param entries maximum outstanding distinct lines
+     * @param max_merged maximum accesses merged per entry
+     */
+    explicit MshrTable(unsigned entries, unsigned max_merged = 32);
+
+    unsigned capacity() const { return entries_; }
+    std::size_t size() const { return table_.size(); }
+    bool full() const { return table_.size() >= entries_; }
+
+    /** @return true if a refill for this line is already pending. */
+    bool pending(Addr line) const { return table_.count(line) != 0; }
+
+    /**
+     * @return true if a new access for `line` can be tracked (either a
+     * fresh entry is available or the existing entry can merge).
+     */
+    bool canAllocate(Addr line) const;
+
+    /**
+     * Records an access waiting on `line` with opaque `waiter`.
+     * @return true if this allocated a NEW entry (i.e. a request must
+     * be sent); false if merged onto an existing one.
+     */
+    bool allocate(Addr line, std::uint64_t waiter);
+
+    /**
+     * Completes the refill of `line`, returning all merged waiters.
+     */
+    std::vector<std::uint64_t> release(Addr line);
+
+    /** Merged-access count for a pending line. */
+    std::size_t waiters(Addr line) const;
+
+    // --- stats ---
+    std::uint64_t allocations() const { return allocations_; }
+    std::uint64_t merges() const { return merges_; }
+
+  private:
+    unsigned entries_;
+    unsigned max_merged_;
+    std::unordered_map<Addr, std::vector<std::uint64_t>> table_;
+    std::uint64_t allocations_ = 0;
+    std::uint64_t merges_ = 0;
+};
+
+} // namespace tenoc
+
+#endif // TENOC_CACHE_MSHR_HH

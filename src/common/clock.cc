@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Clock domain implementation.
+ */
+
+#include "common/clock.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace tenoc
+{
+
+ClockDomain::ClockDomain(std::string name, double freq_mhz)
+    : name_(std::move(name)), freq_mhz_(freq_mhz)
+{
+    tenoc_assert(freq_mhz > 0.0, "clock frequency must be positive");
+    // period [ps] = 1e6 / freq[MHz]
+    period_ps_ = static_cast<Picoseconds>(
+        std::llround(1.0e6 / freq_mhz));
+    tenoc_assert(period_ps_ > 0, "clock period rounds to zero ps");
+    next_edge_ps_ = period_ps_;
+}
+
+void
+ClockDomain::tick()
+{
+    ++cycles_;
+    next_edge_ps_ += period_ps_;
+}
+
+void
+ClockDomain::reset()
+{
+    cycles_ = 0;
+    next_edge_ps_ = period_ps_;
+}
+
+ClockDomainSet::DomainId
+ClockDomainSet::addDomain(const std::string &name, double freq_mhz)
+{
+    domains_.emplace_back(name, freq_mhz);
+    ticked_.push_back(false);
+    return domains_.size() - 1;
+}
+
+const std::vector<bool> &
+ClockDomainSet::advance()
+{
+    tenoc_assert(!domains_.empty(), "no clock domains registered");
+    Picoseconds earliest = std::numeric_limits<Picoseconds>::max();
+    for (const auto &d : domains_)
+        earliest = std::min(earliest, d.nextEdgePs());
+
+    now_ps_ = earliest;
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+        if (domains_[i].nextEdgePs() == earliest) {
+            domains_[i].tick();
+            ticked_[i] = true;
+        } else {
+            ticked_[i] = false;
+        }
+    }
+    return ticked_;
+}
+
+void
+ClockDomainSet::reset()
+{
+    for (auto &d : domains_)
+        d.reset();
+    now_ps_ = 0;
+}
+
+} // namespace tenoc

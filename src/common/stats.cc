@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Statistics package implementation.
+ */
+
+#include "common/stats.hh"
+
+#include "common/log.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tenoc
+{
+
+void
+Accumulator::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+Accumulator::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+Histogram::Histogram(std::string name, double low, double high,
+                     std::size_t buckets)
+    : name_(std::move(name)), low_(low), high_(high),
+      width_((high - low) / static_cast<double>(buckets == 0 ? 1 : buckets)),
+      buckets_(std::max<std::size_t>(buckets, 1), 0)
+{
+    tenoc_assert(high > low, "histogram range must be non-empty");
+}
+
+void
+Histogram::sample(double v, std::uint64_t weight)
+{
+    std::size_t idx;
+    if (v < low_) {
+        idx = 0;
+    } else if (v >= high_) {
+        idx = buckets_.size() - 1;
+    } else {
+        idx = static_cast<std::size_t>((v - low_) / width_);
+        idx = std::min(idx, buckets_.size() - 1);
+    }
+    buckets_[idx] += weight;
+    count_ += weight;
+    sum_ += v * static_cast<double>(weight);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const auto target =
+        static_cast<std::uint64_t>(p * static_cast<double>(count_));
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        running += buckets_[i];
+        if (running >= target)
+            return bucketLow(i) + width_;
+    }
+    return high_;
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    return low_ + width_ * static_cast<double>(i);
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string base =
+        prefix.empty() ? name_ : (name_.empty() ? prefix
+                                                : prefix + "." + name_);
+    auto emit = [&](const std::string &stat, auto value) {
+        os << (base.empty() ? stat : base + "." + stat) << " " << value
+           << "\n";
+    };
+    for (const auto *c : counters_)
+        emit(c->name(), c->value());
+    for (const auto *a : accums_) {
+        emit(a->name() + ".mean", a->mean());
+        emit(a->name() + ".count", a->count());
+    }
+    for (const auto *h : histograms_) {
+        emit(h->name() + ".mean", h->mean());
+        emit(h->name() + ".count", h->count());
+    }
+    for (const auto *g : children_)
+        g->dump(os, base);
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        denom += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / denom;
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace tenoc

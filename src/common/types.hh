@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fundamental type aliases and small enums shared across all tenoc
+ * subsystems.
+ */
+
+#ifndef TENOC_COMMON_TYPES_HH
+#define TENOC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace tenoc
+{
+
+/** Simulation time in cycles of some clock domain. */
+using Cycle = std::uint64_t;
+
+/** Simulation time in picoseconds (global wall clock across domains). */
+using Picoseconds = std::uint64_t;
+
+/** Flat node identifier in a network (0 .. numNodes-1). */
+using NodeId = std::uint32_t;
+
+/** Byte address in the simulated global memory space. */
+using Addr = std::uint64_t;
+
+/** Invalid/unset node marker. */
+inline constexpr NodeId INVALID_NODE = std::numeric_limits<NodeId>::max();
+
+/** Invalid/unset cycle marker. */
+inline constexpr Cycle INVALID_CYCLE = std::numeric_limits<Cycle>::max();
+
+/** Memory request kinds carried over the NoC (Sec. III-D of the paper). */
+enum class MemOp : std::uint8_t
+{
+    READ_REQUEST,   ///< small (8 B) core -> MC packet
+    WRITE_REQUEST,  ///< large (64 B data) core -> MC packet
+    READ_REPLY,     ///< large (64 B data) MC -> core packet
+    WRITE_ACK       ///< small MC -> core packet
+};
+
+/** @return true for the core->MC direction (travels the request net). */
+constexpr bool
+isRequest(MemOp op)
+{
+    return op == MemOp::READ_REQUEST || op == MemOp::WRITE_REQUEST;
+}
+
+/** @return human-readable name of a MemOp. */
+const char *memOpName(MemOp op);
+
+/** Benchmark traffic classification used throughout the paper (Fig. 7). */
+enum class TrafficClass : std::uint8_t
+{
+    LL,  ///< low perfect-NoC speedup, light traffic
+    LH,  ///< low speedup, heavy traffic
+    HH   ///< high speedup, heavy traffic
+};
+
+/** @return "LL"/"LH"/"HH". */
+const char *trafficClassName(TrafficClass c);
+
+} // namespace tenoc
+
+#endif // TENOC_COMMON_TYPES_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * DramBank implementation.
+ */
+
+#include "dram/dram_bank.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tenoc
+{
+
+bool
+DramBank::canActivate(Cycle now) const
+{
+    if (state_ != State::IDLE || now < ready_at_)
+        return false;
+    if (ever_activated_ && now < last_activate_ + timing_.tRC)
+        return false;
+    return true;
+}
+
+bool
+DramBank::canCas(Cycle now, std::uint64_t row) const
+{
+    return state_ == State::ACTIVE && active_row_ == row &&
+        now >= ready_at_;
+}
+
+bool
+DramBank::canPrecharge(Cycle now) const
+{
+    return state_ == State::ACTIVE && now >= ras_done_at_ &&
+        now >= last_cas_end_ && now >= ready_at_;
+}
+
+void
+DramBank::activate(Cycle now, std::uint64_t row)
+{
+    tenoc_assert(canActivate(now), "illegal ACTIVATE");
+    state_ = State::ACTIVE;
+    active_row_ = row;
+    last_activate_ = now;
+    ever_activated_ = true;
+    ready_at_ = now + timing_.tRCD;
+    ras_done_at_ = now + timing_.tRAS;
+    last_cas_end_ = now;
+    ++activations_;
+}
+
+void
+DramBank::cas(Cycle now)
+{
+    tenoc_assert(state_ == State::ACTIVE && now >= ready_at_,
+                 "illegal CAS");
+    // Back-to-back CAS spacing equals the data burst length.
+    ready_at_ = now + timing_.burstCycles();
+    last_cas_end_ =
+        std::max<Cycle>(last_cas_end_,
+                        now + timing_.tCL + timing_.burstCycles());
+}
+
+void
+DramBank::precharge(Cycle now)
+{
+    tenoc_assert(canPrecharge(now), "illegal PRECHARGE");
+    state_ = State::IDLE;
+    ready_at_ = now + timing_.tRP;
+}
+
+} // namespace tenoc

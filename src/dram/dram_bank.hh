@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-bank DRAM state machine: IDLE -> (ACTIVATE) -> ACTIVE ->
+ * (PRECHARGE) -> IDLE, with tRCD/tRAS/tRP/tRC/tRRD constraints.
+ */
+
+#ifndef TENOC_DRAM_DRAM_BANK_HH
+#define TENOC_DRAM_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/gddr3.hh"
+
+namespace tenoc
+{
+
+/** One DRAM bank. */
+class DramBank
+{
+  public:
+    enum class State : std::uint8_t { IDLE, ACTIVE };
+
+    explicit DramBank(const Gddr3Timing &timing) : timing_(timing) {}
+
+    State state() const { return state_; }
+    std::uint64_t activeRow() const { return active_row_; }
+
+    /** @return true if ACTIVATE may issue at `now` (tRC/tRP honored;
+     *  the cross-bank tRRD check belongs to the channel). */
+    bool canActivate(Cycle now) const;
+
+    /** @return true if a CAS to `row` may issue at `now`. */
+    bool canCas(Cycle now, std::uint64_t row) const;
+
+    /** @return true if PRECHARGE may issue at `now`. */
+    bool canPrecharge(Cycle now) const;
+
+    /** Issues ACTIVATE for `row`. */
+    void activate(Cycle now, std::uint64_t row);
+
+    /** Issues a CAS (read or write). */
+    void cas(Cycle now);
+
+    /** Issues PRECHARGE. */
+    void precharge(Cycle now);
+
+    std::uint64_t activations() const { return activations_; }
+
+  private:
+    Gddr3Timing timing_; ///< by value so banks stay assignable
+    State state_ = State::IDLE;
+    std::uint64_t active_row_ = 0;
+    Cycle ready_at_ = 0;        ///< earliest next command to this bank
+    Cycle last_activate_ = 0;   ///< for tRC
+    Cycle ras_done_at_ = 0;     ///< earliest precharge (tRAS)
+    Cycle last_cas_end_ = 0;    ///< earliest precharge after CAS
+    bool ever_activated_ = false;
+    std::uint64_t activations_ = 0;
+};
+
+} // namespace tenoc
+
+#endif // TENOC_DRAM_DRAM_BANK_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * DramChannel implementation.
+ */
+
+#include "dram/dram_channel.hh"
+
+#include "common/log.hh"
+
+namespace tenoc
+{
+
+DramChannel::DramChannel(const DramChannelParams &params)
+    : params_(params)
+{
+    tenoc_assert(params_.queueCapacity >= 1, "queue too small");
+    tenoc_assert(params_.timing.numBanks >= 1 &&
+                 params_.timing.numBanks <= 32,
+                 "bank count must fit the scheduler's bank mask");
+    banks_.assign(params_.timing.numBanks, DramBank(params_.timing));
+}
+
+bool
+DramChannel::canAccept() const
+{
+    return queue_.size() < params_.queueCapacity;
+}
+
+void
+DramChannel::push(DramRequest req, Cycle now)
+{
+    tenoc_assert(canAccept(), "DRAM queue overflow");
+    req.arrival = now;
+    req.coord = mapAddress(params_.timing, req.localAddr);
+    queue_.push_back(std::move(req));
+}
+
+void
+DramChannel::cycle(Cycle now)
+{
+    // Retire in-flight transfers whose data burst has finished.
+    while (!in_flight_.empty() && in_flight_.front().doneAt <= now) {
+        completed_.push_back(std::move(in_flight_.front().req));
+        in_flight_.pop_front();
+    }
+
+    const bool pending = !queue_.empty() || !in_flight_.empty();
+    if (pending)
+        ++pending_cycles_;
+    if (now < bus_free_at_)
+        ++bus_busy_cycles_;
+
+    if (queue_.empty())
+        return;
+
+    const auto &t = params_.timing;
+
+    // One command per cycle.  First preference: a ready row hit whose
+    // data burst can be scheduled on the bus (FR-FCFS).  CAS is gated
+    // on read-out buffer space so a blocked reply path stalls the
+    // DRAM pipeline (Fig. 11).
+    const bool return_space =
+        in_flight_.size() + completed_.size() < params_.returnBufferCap;
+    const auto hit = return_space
+        ? FrFcfsScheduler::pickRowHit(queue_, *this, now)
+        : std::optional<std::size_t>{};
+    if (hit) {
+        const std::size_t i = *hit;
+        DramRequest req = queue_[i];
+        auto &bank = banks_[req.coord.bank];
+        // Switching the data bus between reads and writes costs a
+        // turnaround bubble (tRTW / tWTR).
+        Cycle bus_ready = bus_free_at_;
+        if (served_ > 0 && req.write != last_cas_was_write_) {
+            bus_ready += req.write ? t.tRTW : t.tWTR;
+        }
+        const Cycle data_start = std::max<Cycle>(now + t.tCL,
+                                                 bus_ready);
+        // Issue only if the data bus is free when the burst starts;
+        // otherwise wait (bus contention).
+        if (data_start == now + t.tCL) {
+            bank.cas(now);
+            bus_free_at_ = data_start + t.burstCycles();
+            last_cas_was_write_ = req.write;
+            if (req.openedRow)
+                ++row_misses_;
+            else
+                ++row_hits_;
+            InFlight fl;
+            fl.req = std::move(req);
+            fl.doneAt = data_start + t.burstCycles();
+            in_flight_.push_back(std::move(fl));
+            queue_.erase(queue_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            ++served_;
+            return;
+        }
+    }
+
+    // Otherwise prepare a bank.  Banks are prepared in parallel: for
+    // each bank, only its oldest queued request steers it (no row
+    // thrashing), and the single command slot this cycle goes to the
+    // eligible preparation whose request is oldest (FCFS).
+    std::uint32_t seen_banks = 0;
+    for (auto &req : queue_) {
+        const std::uint32_t bit = 1u << req.coord.bank;
+        if (seen_banks & bit)
+            continue;
+        seen_banks |= bit;
+        auto &bank = banks_[req.coord.bank];
+        if (bank.state() == DramBank::State::ACTIVE) {
+            if (bank.activeRow() == req.coord.row)
+                continue; // ready or waiting on CAS/bus
+            if (bank.canPrecharge(now)) {
+                bank.precharge(now);
+                return;
+            }
+            continue;
+        }
+        // Bank idle: activate, honoring channel-wide tRRD.
+        if (bank.canActivate(now) &&
+            (!ever_activated_ || now >= last_activate_ + t.tRRD)) {
+            bank.activate(now, req.coord.row);
+            req.openedRow = true;
+            last_activate_ = now;
+            ever_activated_ = true;
+            return;
+        }
+    }
+}
+
+std::optional<DramRequest>
+DramChannel::popCompleted()
+{
+    if (completed_.empty())
+        return std::nullopt;
+    DramRequest r = std::move(completed_.front());
+    completed_.pop_front();
+    return r;
+}
+
+bool
+DramChannel::idle() const
+{
+    return queue_.empty() && in_flight_.empty() && completed_.empty();
+}
+
+double
+DramChannel::efficiency() const
+{
+    if (pending_cycles_ == 0)
+        return 0.0;
+    return static_cast<double>(bus_busy_cycles_) /
+        static_cast<double>(pending_cycles_);
+}
+
+} // namespace tenoc

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * FR-FCFS policy implementation.
+ */
+
+#include "dram/frfcfs.hh"
+
+#include "dram/dram_channel.hh"
+
+namespace tenoc
+{
+
+std::optional<std::size_t>
+FrFcfsScheduler::pickRowHit(const Queue &queue, const DramChannel &ch,
+                            Cycle now)
+{
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const auto &req = queue[i];
+        if (ch.banks_[req.coord.bank].canCas(now, req.coord.row))
+            return i;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::size_t>
+FrFcfsScheduler::pickOldest(const Queue &queue)
+{
+    if (queue.empty())
+        return std::nullopt;
+    return 0; // queue is in arrival order
+}
+
+} // namespace tenoc

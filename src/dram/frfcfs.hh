@@ -1,0 +1,57 @@
+/**
+ * @file
+ * FR-FCFS (first-ready, first-come-first-served) scheduling policy
+ * (Table II: out-of-order memory controller).
+ *
+ * Row hits are serviced first (oldest hit wins); otherwise the oldest
+ * request drives precharge/activate of its bank.
+ */
+
+#ifndef TENOC_DRAM_FRFCFS_HH
+#define TENOC_DRAM_FRFCFS_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/types.hh"
+#include "dram/gddr3.hh"
+
+namespace tenoc
+{
+
+/** One request in the controller queue. */
+struct DramRequest
+{
+    Addr localAddr = 0;      ///< channel-local address
+    bool write = false;
+    std::uint64_t tag = 0;   ///< opaque handle returned on completion
+    Cycle arrival = 0;       ///< queue entry time (mem cycles)
+    DramCoord coord;         ///< filled by the channel on push
+    bool openedRow = false;  ///< an ACTIVATE was issued for this request
+};
+
+/** FR-FCFS selection over a request queue. */
+class FrFcfsScheduler
+{
+  public:
+    using Queue = std::deque<DramRequest>;
+
+    /**
+     * @return index into `queue` of the oldest row-hit request whose
+     * bank can issue a CAS at `now`, if any.
+     */
+    static std::optional<std::size_t>
+    pickRowHit(const Queue &queue, const class DramChannel &ch,
+               Cycle now);
+
+    /**
+     * @return index of the oldest request overall (FCFS order), used
+     * to steer precharge/activate when no row hit is ready.
+     */
+    static std::optional<std::size_t> pickOldest(const Queue &queue);
+};
+
+} // namespace tenoc
+
+#endif // TENOC_DRAM_FRFCFS_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * GDDR3 address mapping helpers.
+ */
+
+#include "dram/gddr3.hh"
+
+#include "common/log.hh"
+
+namespace tenoc
+{
+
+DramCoord
+mapAddress(const Gddr3Timing &t, Addr local_addr)
+{
+    DramCoord c;
+    const Addr row_block = local_addr / t.rowBytes;
+    c.bank = static_cast<unsigned>(row_block % t.numBanks);
+    c.row = row_block / t.numBanks;
+    return c;
+}
+
+Addr
+compactAddress(Addr global, unsigned num_channels,
+               unsigned interleave_bytes)
+{
+    tenoc_assert(num_channels > 0 && interleave_bytes > 0,
+                 "bad interleaving");
+    const Addr chunk = global / interleave_bytes;
+    const Addr offset = global % interleave_bytes;
+    return (chunk / num_channels) * interleave_bytes + offset;
+}
+
+unsigned
+channelOf(Addr global, unsigned num_channels, unsigned interleave_bytes)
+{
+    return static_cast<unsigned>((global / interleave_bytes) %
+                                 num_channels);
+}
+
+} // namespace tenoc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * GDDR3 timing parameters (Table II of the paper) and address mapping.
+ *
+ * All timings are in memory (command) clock cycles at 1107 MHz.  The
+ * data bus is DDR: a 64-byte access occupies the bus for
+ * burstCycles = 64 B / (busBytes * 2) command cycles.
+ */
+
+#ifndef TENOC_DRAM_GDDR3_HH
+#define TENOC_DRAM_GDDR3_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace tenoc
+{
+
+/** GDDR3 device timing and geometry. */
+struct Gddr3Timing
+{
+    // Table II values.
+    unsigned tCL = 9;    ///< CAS latency
+    unsigned tRP = 13;   ///< precharge period
+    unsigned tRC = 34;   ///< row cycle (ACT to ACT, same bank)
+    unsigned tRAS = 21;  ///< row active time (ACT to PRE)
+    unsigned tRCD = 12;  ///< RAS-to-CAS delay
+    unsigned tRRD = 8;   ///< ACT-to-ACT, different banks
+    unsigned tRTW = 8;   ///< read-to-write data-bus turnaround
+    unsigned tWTR = 8;   ///< write-to-read data-bus turnaround
+
+    unsigned numBanks = 8;       ///< banks per channel
+    unsigned rowBytes = 2048;    ///< page (row) size per bank
+    unsigned busBytes = 8;       ///< data bus width (DDR)
+    unsigned accessBytes = 64;   ///< transfer granularity (cache line)
+
+    /** Data-bus occupancy of one access, in command cycles. */
+    unsigned
+    burstCycles() const
+    {
+        return accessBytes / (busBytes * 2);
+    }
+};
+
+/** Decomposed DRAM address within one channel. */
+struct DramCoord
+{
+    unsigned bank = 0;
+    std::uint64_t row = 0;
+};
+
+/**
+ * Maps a channel-local byte address to (bank, row).  Consecutive
+ * `rowBytes` blocks interleave across banks, so streaming fills a row
+ * in each bank before moving to the next row.
+ */
+DramCoord mapAddress(const Gddr3Timing &t, Addr local_addr);
+
+/**
+ * Compacts a global address to a channel-local address given that
+ * global addresses are low-order interleaved across `num_channels`
+ * every `interleave_bytes` (256 B in the paper, Sec. II).
+ */
+Addr compactAddress(Addr global, unsigned num_channels,
+                    unsigned interleave_bytes);
+
+/** Channel id owning a global address under low-order interleaving. */
+unsigned channelOf(Addr global, unsigned num_channels,
+                   unsigned interleave_bytes);
+
+} // namespace tenoc
+
+#endif // TENOC_DRAM_GDDR3_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Coalescer implementation.
+ */
+
+#include "gpu/coalescer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace tenoc
+{
+
+unsigned
+Coalescer::linesForAccess(const KernelProfile &profile, Rng &rng) const
+{
+    const double avg = profile.avgLinesPerMemInst;
+    tenoc_assert(avg >= 1.0, "need at least one line per access");
+    const double fl = std::floor(avg);
+    unsigned n = static_cast<unsigned>(fl);
+    if (rng.nextBool(avg - fl))
+        ++n;
+    return std::clamp(n, 1u, warp_size_);
+}
+
+std::vector<Addr>
+Coalescer::coalesce(const KernelProfile &profile, AddressStream &stream,
+                    Rng &rng) const
+{
+    const unsigned n = linesForAccess(profile, rng);
+    std::vector<Addr> lines;
+    lines.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        lines.push_back(stream.next(rng));
+    return lines;
+}
+
+} // namespace tenoc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Memory divergence detection / coalescing stage (the "DD" box in
+ * Fig. 4 of the paper).
+ *
+ * Coalescing merges the 32 scalar accesses of one warp memory
+ * instruction into as few cache-line requests as possible.  The
+ * synthetic model draws the number of distinct lines from the
+ * profile's avgLinesPerMemInst and pulls that many line addresses
+ * from the warp's address stream.
+ */
+
+#ifndef TENOC_GPU_COALESCER_HH
+#define TENOC_GPU_COALESCER_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "gpu/kernel_profile.hh"
+
+namespace tenoc
+{
+
+class Coalescer
+{
+  public:
+    /** @param warp_size scalar threads per warp (clamps line count) */
+    explicit Coalescer(unsigned warp_size = 32)
+        : warp_size_(warp_size)
+    {}
+
+    /**
+     * Samples the number of distinct lines one warp memory instruction
+     * touches: floor(avg) plus one with the fractional probability,
+     * clamped to [1, warp_size].
+     */
+    unsigned linesForAccess(const KernelProfile &profile, Rng &rng) const;
+
+    /**
+     * Generates the coalesced line addresses for one warp memory
+     * instruction.
+     */
+    std::vector<Addr> coalesce(const KernelProfile &profile,
+                               AddressStream &stream, Rng &rng) const;
+
+  private:
+    unsigned warp_size_;
+};
+
+} // namespace tenoc
+
+#endif // TENOC_GPU_COALESCER_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * AddressStream implementation.
+ */
+
+#include "gpu/kernel_profile.hh"
+
+#include "common/log.hh"
+
+namespace tenoc
+{
+
+AddressStream::AddressStream(Addr core_base, unsigned warp_id,
+                             unsigned num_warps,
+                             const KernelProfile &profile,
+                             unsigned line_bytes)
+    : base_(core_base + static_cast<Addr>(warp_id) * line_bytes),
+      stride_(static_cast<Addr>(num_warps) * line_bytes),
+      profile_(&profile)
+{
+    tenoc_assert(line_bytes > 0 && num_warps > 0, "bad stream config");
+    steps_ = profile.footprintBytes / stride_;
+    if (steps_ == 0)
+        steps_ = 1;
+}
+
+Addr
+AddressStream::next(Rng &rng)
+{
+    if (!rng.nextBool(profile_->rowLocality))
+        step_ = rng.nextRange(steps_); // random jump in the footprint
+    const Addr out = base_ + step_ * stride_;
+    ++step_;
+    if (step_ >= steps_)
+        step_ = 0;
+    return out;
+}
+
+} // namespace tenoc

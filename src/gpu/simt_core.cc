@@ -1,0 +1,242 @@
+/**
+ * @file
+ * SimtCore implementation.
+ */
+
+#include "gpu/simt_core.hh"
+
+#include "common/log.hh"
+
+namespace tenoc
+{
+
+namespace
+{
+
+/** L1 cache parameters from the kernel profile. */
+CacheParams
+l1Params(const KernelProfile &profile, unsigned line_bytes)
+{
+    CacheParams p;
+    p.sizeBytes = 16 * 1024; // Table II
+    p.lineBytes = line_bytes;
+    p.ways = 4;
+    if (profile.realCaches) {
+        p.mode = CacheParams::Mode::REAL;
+    } else {
+        p.mode = CacheParams::Mode::PROFILE;
+        p.profileHitRate = profile.l1HitRate;
+        p.profileWritebackRate = profile.writebackRate;
+    }
+    return p;
+}
+
+} // namespace
+
+SimtCore::SimtCore(unsigned id, const SimtCoreParams &params,
+                   const KernelProfile &profile, CoreMemPort &port,
+                   std::uint64_t seed,
+                   std::unique_ptr<InstSource> source)
+    : id_(id), params_(params), profile_(profile), port_(port),
+      rng_(seed ^ (0x5851f42d4c957f2dULL * (id + 1))),
+      l1_(l1Params(profile, params.lineBytes), seed + id),
+      mshrs_(params.mshrEntries), source_(std::move(source))
+{
+    unsigned want_warps;
+    if (source_) {
+        want_warps = source_->numWarps();
+    } else {
+        want_warps = profile_.warpsPerCore;
+    }
+    const unsigned warps = std::min(want_warps, params_.maxWarps);
+    tenoc_assert(warps >= 1, "kernel needs at least one warp");
+    if (!source_) {
+        source_ = std::make_unique<ProfileInstSource>(
+            profile_, id_, warps, params_.lineBytes,
+            params_.warpSize);
+    }
+    warps_.resize(warps);
+    for (unsigned w = 0; w < warps; ++w) {
+        warps_[w].id = w;
+        warps_[w].instsRemaining = source_->warpLength(w);
+        if (warps_[w].instsRemaining == 0) {
+            warps_[w].state = Warp::State::DONE;
+            ++warps_done_;
+        }
+    }
+    slot_countdown_ = params_.issueInterval();
+}
+
+void
+SimtCore::restart()
+{
+    tenoc_assert(done(), "restart before the previous kernel retired");
+    tenoc_assert(mshrs_.size() == 0 && pending_writebacks_.empty(),
+                 "restart with memory traffic in flight");
+    source_->rewind();
+    warps_done_ = 0;
+    rr_warp_ = 0;
+    slot_countdown_ = params_.issueInterval();
+    for (auto &warp : warps_) {
+        warp.state = Warp::State::READY;
+        warp.instsRemaining = source_->warpLength(warp.id);
+        warp.pendingReplies = 0;
+        warp.next = Warp::PendingInst{};
+        if (warp.instsRemaining == 0) {
+            warp.state = Warp::State::DONE;
+            ++warps_done_;
+        }
+    }
+}
+
+void
+SimtCore::cycle(Cycle core_cycle)
+{
+    // Retry dirty-victim writebacks that found the port full (these
+    // may outlive the warps that caused them).
+    while (!pending_writebacks_.empty() && port_.canSendRequests(1)) {
+        port_.sendWrite(pending_writebacks_.front());
+        pending_writebacks_.pop_front();
+        ++writes_sent_;
+    }
+    if (done())
+        return;
+    if (--slot_countdown_ > 0)
+        return;
+    slot_countdown_ = params_.issueInterval();
+    if (!issueSlot(core_cycle))
+        ++stall_slots_;
+    if (done())
+        finish_cycle_ = core_cycle;
+}
+
+bool
+SimtCore::issueSlot(Cycle core_cycle)
+{
+    (void)core_cycle;
+    const unsigned n = static_cast<unsigned>(warps_.size());
+    for (unsigned i = 0; i < n; ++i) {
+        const unsigned w = (rr_warp_ + i) % n;
+        Warp &warp = warps_[w];
+        if (!warp.canIssue(profile_.maxPendingLines))
+            continue;
+
+        // Decode once; a structurally stalled instruction is retried
+        // as-is so congestion cannot bias the instruction mix.
+        if (!warp.next.valid) {
+            source_->decode(w, warp.next, rng_);
+            warp.next.valid = true;
+        }
+        if (warp.next.isMem) {
+            if (!executeMemInst(warp)) {
+                // Structural stall (MSHRs or injection queue full):
+                // this warp holds its decoded instruction; the
+                // scheduler tries the next ready warp.
+                continue;
+            }
+            ++mem_insts_;
+        }
+        warp.next = Warp::PendingInst{};
+        ++warp_insts_;
+        scalar_insts_ += params_.warpSize;
+        tenoc_assert(warp.instsRemaining > 0, "warp over-ran kernel");
+        --warp.instsRemaining;
+        if (warp.instsRemaining == 0 && warp.pendingReplies == 0) {
+            warp.state = Warp::State::DONE;
+            ++warps_done_;
+        } else if (warp.instsRemaining == 0) {
+            // Retire once the last loads come back.
+            warp.state = Warp::State::BLOCKED;
+        }
+        rr_warp_ = (w + 1) % n;
+        return true;
+    }
+    return false; // no ready warp
+}
+
+bool
+SimtCore::executeMemInst(Warp &warp)
+{
+    const bool is_store = warp.next.isStore;
+    const auto &lines = warp.next.lines;
+
+    // Conservative resource check: every line might miss and every
+    // miss might add a dirty eviction.
+    if (!port_.canSendRequests(
+            static_cast<unsigned>(lines.size()) * 2)) {
+        return false;
+    }
+    unsigned new_entries = 0;
+    for (Addr raw : lines) {
+        const Addr line = l1_.lineAddr(raw);
+        if (!mshrs_.canAllocate(line))
+            return false;
+        if (!mshrs_.pending(line))
+            ++new_entries;
+    }
+    if (mshrs_.size() + new_entries > mshrs_.capacity())
+        return false;
+
+    for (Addr raw : lines) {
+        const Addr line = l1_.lineAddr(raw);
+        const auto res = l1_.access(line, is_store);
+        if (res.hit)
+            continue;
+        if (res.writeback) {
+            port_.sendWrite(*res.writeback);
+            ++writes_sent_;
+        }
+        // Write-allocate: stores fetch the line too.
+        const bool is_new = mshrs_.allocate(
+            line, (static_cast<std::uint64_t>(warp.id)));
+        if (is_new) {
+            port_.sendRead(line);
+            ++reads_sent_;
+        }
+        if (is_store)
+            pending_store_lines_.insert(line);
+        ++warp.pendingReplies;
+    }
+    if (warp.pendingReplies >= profile_.maxPendingLines)
+        warp.state = Warp::State::BLOCKED;
+    return true;
+}
+
+void
+SimtCore::onReadReply(Addr line)
+{
+    // Real-tag mode: install the line; a dirty victim becomes a write
+    // request (queued if the injection port is momentarily full).
+    if (l1_.params().mode == CacheParams::Mode::REAL) {
+        const bool dirty = pending_store_lines_.erase(line) > 0;
+        if (const auto wb = l1_.fill(line, dirty)) {
+            if (port_.canSendRequests(1)) {
+                port_.sendWrite(*wb);
+                ++writes_sent_;
+            } else {
+                pending_writebacks_.push_back(*wb);
+            }
+        }
+    } else {
+        pending_store_lines_.erase(line);
+    }
+
+    for (std::uint64_t waiter : mshrs_.release(line)) {
+        auto &warp = warps_[static_cast<std::size_t>(waiter)];
+        tenoc_assert(warp.pendingReplies > 0,
+                     "reply for warp with no pending requests");
+        --warp.pendingReplies;
+        if (warp.state != Warp::State::BLOCKED)
+            continue;
+        if (warp.instsRemaining == 0) {
+            if (warp.pendingReplies == 0) {
+                warp.state = Warp::State::DONE;
+                ++warps_done_;
+            }
+        } else if (warp.pendingReplies < profile_.maxPendingLines) {
+            warp.state = Warp::State::READY;
+        }
+    }
+}
+
+} // namespace tenoc

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * SIMT compute core model (Fig. 4 of the paper).
+ *
+ * 8-wide SIMD pipeline executing 32-thread warps over four core
+ * cycles; a dispatch queue of up to 32 ready warps; memory divergence
+ * detection / coalescing; an L1 data cache (profile-locality mode for
+ * the synthetic workloads) with a 64-entry MSHR table.  Global loads
+ * that miss L1 send read requests into the NoC and block their warp
+ * until the read reply returns; dirty evictions send write requests
+ * (the paper's core->MC traffic is read requests plus less-frequent
+ * writes, and MC->core traffic is read replies only).
+ */
+
+#ifndef TENOC_GPU_SIMT_CORE_HH
+#define TENOC_GPU_SIMT_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+#include "common/rng.hh"
+#include "gpu/inst_source.hh"
+#include "gpu/kernel_profile.hh"
+#include "gpu/warp.hh"
+
+namespace tenoc
+{
+
+/**
+ * The core's window into the memory system; implemented by the Chip,
+ * which turns these into NoC packets with proper interconnect-domain
+ * timestamps and MC routing by address interleaving.
+ */
+class CoreMemPort
+{
+  public:
+    virtual ~CoreMemPort() = default;
+    /** @return true if `n` more request packets can be queued now. */
+    virtual bool canSendRequests(unsigned n) const = 0;
+    /** Sends a read request for one line. */
+    virtual void sendRead(Addr line) = 0;
+    /** Sends a 64-byte write (dirty eviction / store flush). */
+    virtual void sendWrite(Addr line) = 0;
+};
+
+/** SIMT core configuration (Table II). */
+struct SimtCoreParams
+{
+    unsigned warpSize = 32;
+    unsigned simdWidth = 8;
+    unsigned maxWarps = 32;      ///< 1024 threads / 32
+    unsigned mshrEntries = 64;
+    unsigned lineBytes = 64;
+    /** Core cycles per issue slot: warpSize / simdWidth. */
+    unsigned
+    issueInterval() const
+    {
+        return warpSize / simdWidth;
+    }
+};
+
+class SimtCore
+{
+  public:
+    /**
+     * @param id core index (address-space base derives from it)
+     * @param params core configuration
+     * @param profile kernel profile (cache config, MLP; and the
+     *        instruction statistics when no explicit source is given)
+     * @param port memory system access
+     * @param seed deterministic RNG seed
+     * @param source optional instruction source (e.g. a trace);
+     *        defaults to a ProfileInstSource over `profile`
+     */
+    SimtCore(unsigned id, const SimtCoreParams &params,
+             const KernelProfile &profile, CoreMemPort &port,
+             std::uint64_t seed,
+             std::unique_ptr<InstSource> source = nullptr);
+
+    /** Advances one core clock. */
+    void cycle(Cycle core_cycle);
+
+    /**
+     * Starts the next kernel launch: rewinds the instruction source
+     * and re-arms every warp.  Caches stay warm (as on real GPUs);
+     * all MSHRs must have drained (global launch barrier).
+     */
+    void restart();
+
+    /** Read reply arrived for `line`; wakes merged waiter warps. */
+    void onReadReply(Addr line);
+
+    /** @return true when every warp has retired. */
+    bool done() const { return warps_done_ == warps_.size(); }
+
+    /** @return true when no queued writebacks remain to be sent. */
+    bool flushed() const { return pending_writebacks_.empty(); }
+
+    // --- stats ---
+    std::uint64_t scalarInsts() const { return scalar_insts_; }
+    std::uint64_t warpInstsIssued() const { return warp_insts_; }
+    std::uint64_t stallSlots() const { return stall_slots_; }
+    std::uint64_t memInsts() const { return mem_insts_; }
+    std::uint64_t readsSent() const { return reads_sent_; }
+    std::uint64_t writesSent() const { return writes_sent_; }
+    Cycle finishCycle() const { return finish_cycle_; }
+    const Cache &l1() const { return l1_; }
+    const MshrTable &mshrs() const { return mshrs_; }
+
+  private:
+    /** Attempts to issue one warp instruction; @return success. */
+    bool issueSlot(Cycle core_cycle);
+
+    /** Executes a memory instruction for `warp`; @return success. */
+    bool executeMemInst(Warp &warp);
+
+    unsigned id_;
+    SimtCoreParams params_;
+    const KernelProfile &profile_;
+    CoreMemPort &port_;
+    Rng rng_;
+
+    Cache l1_;
+    MshrTable mshrs_;
+    std::unique_ptr<InstSource> source_;
+
+    std::vector<Warp> warps_;
+    /** Lines whose pending refill was triggered by a store
+     *  (write-allocate dirtiness for real-tag caches). */
+    std::set<Addr> pending_store_lines_;
+    /** Dirty victims waiting for injection-queue space. */
+    std::deque<Addr> pending_writebacks_;
+    unsigned rr_warp_ = 0;
+    unsigned slot_countdown_ = 0;
+    std::size_t warps_done_ = 0;
+
+    std::uint64_t scalar_insts_ = 0;
+    std::uint64_t warp_insts_ = 0;
+    std::uint64_t stall_slots_ = 0;
+    std::uint64_t mem_insts_ = 0;
+    std::uint64_t reads_sent_ = 0;
+    std::uint64_t writes_sent_ = 0;
+    Cycle finish_cycle_ = 0;
+};
+
+} // namespace tenoc
+
+#endif // TENOC_GPU_SIMT_CORE_HH

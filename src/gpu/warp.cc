@@ -1,0 +1,6 @@
+/**
+ * @file
+ * Warp (header-only state; this TU anchors the target).
+ */
+
+#include "gpu/warp.hh"

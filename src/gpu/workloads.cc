@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Benchmark profile definitions.
+ *
+ * Parameter meanings: m = fraction of warp instructions touching
+ * global memory; lines = mean coalesced lines per memory instruction;
+ * l1/l2 = hit rates; wb = dirty-eviction probability per miss; row =
+ * address-stream sequentiality (DRAM row locality); warps = occupancy
+ * per core; insts = warp instructions per warp.
+ *
+ * The key derived quantity is lambda = m * lines * (1 - l1): read
+ * lines injected per warp instruction.  With 28 cores at peak issue
+ * the baseline reply path (one injection port per MC, 5-flit replies)
+ * supports lambda up to roughly 0.1; LL benchmarks sit far below it,
+ * LH benchmarks below it, and HH benchmarks well above it, which is
+ * what produces the paper's three-way classification.
+ */
+
+#include "gpu/workloads.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tenoc
+{
+
+namespace
+{
+
+KernelProfile
+make(const char *abbr, const char *name, TrafficClass cls,
+     unsigned warps, std::uint64_t insts, double m, double loads,
+     double lines, double l1, double l2, double wb, double row,
+     unsigned mlp)
+{
+    KernelProfile p;
+    p.abbr = abbr;
+    p.name = name;
+    p.expectedClass = cls;
+    p.warpsPerCore = warps;
+    p.warpInstsPerWarp = insts;
+    p.memFraction = m;
+    p.loadFraction = loads;
+    p.avgLinesPerMemInst = lines;
+    p.l1HitRate = l1;
+    p.l2HitRate = l2;
+    p.writebackRate = wb;
+    p.rowLocality = row;
+    p.maxPendingLines = mlp;
+    return p;
+}
+
+std::vector<KernelProfile>
+buildSuite()
+{
+    using TC = TrafficClass;
+    std::vector<KernelProfile> s;
+
+    // --- LL: little demand on the network (heavy use of shared
+    //     memory / high L1 hit rates; Sec. III-B).
+    s.push_back(make("AES", "AES Cryptography", TC::LL,
+                     32, 250, 0.04, 0.90, 1.0, 0.90, 0.45, 0.25, 0.90, 3));
+    s.push_back(make("BIN", "Binomial Option Pricing", TC::LL,
+                     32, 250, 0.03, 0.92, 1.0, 0.85, 0.40, 0.20, 0.92, 3));
+    s.push_back(make("HSP", "HotSpot", TC::LL,
+                     32, 250, 0.06, 0.88, 1.5, 0.85, 0.45, 0.30, 0.85, 3));
+    s.push_back(make("NE", "Neural Network Digit Recognition", TC::LL,
+                     8, 250, 0.05, 0.90, 1.2, 0.80, 0.40, 0.25, 0.88, 1));
+    s.push_back(make("NDL", "Needleman-Wunsch", TC::LL,
+                     8, 250, 0.08, 0.85, 1.5, 0.85, 0.40, 0.35, 0.80, 1));
+    s.push_back(make("HW", "Heart Wall Tracking", TC::LL,
+                     12, 250, 0.05, 0.90, 1.3, 0.90, 0.50, 0.25, 0.85, 1));
+    s.push_back(make("LE", "Leukocyte", TC::LL,
+                     32, 250, 0.04, 0.92, 1.2, 0.92, 0.50, 0.20, 0.88, 3));
+    s.push_back(make("HIS", "64-bin Histogram", TC::LL,
+                     12, 250, 0.06, 0.85, 1.5, 0.88, 0.45, 0.35, 0.82, 1));
+    s.push_back(make("LU", "LU Decomposition", TC::LL,
+                     8, 250, 0.07, 0.85, 1.4, 0.85, 0.45, 0.35, 0.80, 1));
+    s.push_back(make("SLA", "Scan of Large Arrays", TC::LL,
+                     32, 250, 0.08, 0.80, 1.0, 0.90, 0.50, 0.40, 0.95, 4));
+    s.push_back(make("BP", "Back Propagation", TC::LL,
+                     32, 250, 0.07, 0.85, 1.3, 0.87, 0.45, 0.30, 0.85, 3));
+
+    // --- LH: heavy traffic but little perfect-NoC speedup (balanced;
+    //     latency well hidden by multithreading).
+    s.push_back(make("CON", "Separable Convolution", TC::LH,
+                     32, 200, 0.13, 0.85, 1.4, 0.64, 0.45, 0.35, 0.90, 10));
+    s.push_back(make("NNC", "Nearest Neighbor", TC::LH,
+                     12, 200, 0.15, 0.90, 1.5, 0.70, 0.40, 0.25, 0.75, 6));
+    s.push_back(make("BLK", "Black-Scholes Option Pricing", TC::LH,
+                     32, 200, 0.11, 0.80, 1.0, 0.35, 0.25, 0.40, 0.95, 12));
+    s.push_back(make("MM", "Matrix Multiplication", TC::LH,
+                     32, 200, 0.20, 0.92, 1.2, 0.69, 0.50, 0.30, 0.88, 10));
+    s.push_back(make("LPS", "3D Laplace Solver", TC::LH,
+                     32, 200, 0.15, 0.85, 1.3, 0.59, 0.45, 0.35, 0.85, 10));
+    s.push_back(make("RAY", "Ray Tracing", TC::LH,
+                     32, 200, 0.12, 0.90, 2.0, 0.72, 0.40, 0.25, 0.60, 8));
+    s.push_back(make("DG", "gpuDG", TC::LH,
+                     32, 200, 0.18, 0.88, 1.3, 0.66, 0.45, 0.35, 0.82, 10));
+    s.push_back(make("SS", "Similarity Score", TC::LH,
+                     32, 200, 0.15, 0.85, 1.5, 0.62, 0.40, 0.35, 0.78, 10));
+    s.push_back(make("TRA", "Matrix Transpose", TC::LH,
+                     32, 200, 0.13, 0.60, 1.7, 0.64, 0.35, 0.50, 0.40, 10));
+    s.push_back(make("SR", "Speckle Reducing Anisotropic Diffusion",
+                     TC::LH,
+                     32, 200, 0.14, 0.85, 1.4, 0.62, 0.42, 0.40, 0.82, 10));
+    s.push_back(make("WP", "Weather Prediction", TC::LH,
+                     32, 200, 0.16, 0.85, 1.5, 0.72, 0.42, 0.40, 0.78, 10));
+
+    // --- HH: heavy traffic and large perfect-NoC speedup (the
+    //     many-to-few-to-many reply bottleneck bites).
+    s.push_back(make("MUM", "MUMmerGPU", TC::HH,
+                     32, 140, 0.25, 0.90, 3.0, 0.55, 0.35, 0.30, 0.35, 6));
+    s.push_back(make("LIB", "LIBOR Monte Carlo", TC::HH,
+                     32, 150, 0.20, 0.85, 1.5, 0.35, 0.30, 0.35, 0.55, 10));
+    s.push_back(make("FWT", "Fast Walsh Transform", TC::HH,
+                     32, 150, 0.22, 0.70, 1.5, 0.50, 0.30, 0.45, 0.50, 10));
+    s.push_back(make("SCP", "Scalar Product", TC::HH,
+                     32, 150, 0.25, 0.90, 1.0, 0.30, 0.25, 0.12, 0.95, 10));
+    s.push_back(make("STC", "Streamcluster", TC::HH,
+                     32, 140, 0.20, 0.85, 1.8, 0.45, 0.30, 0.35, 0.50, 10));
+    s.push_back(make("KM", "Kmeans", TC::HH,
+                     32, 150, 0.22, 0.88, 1.5, 0.45, 0.30, 0.30, 0.55, 10));
+    s.push_back(make("CFD", "CFD Solver", TC::HH,
+                     32, 140, 0.25, 0.85, 2.0, 0.50, 0.30, 0.35, 0.45, 10));
+    s.push_back(make("BFS", "BFS Graph Traversal", TC::HH,
+                     32, 120, 0.30, 0.80, 3.5, 0.45, 0.30, 0.30, 0.30, 8));
+    s.push_back(make("RD", "Parallel Reduction", TC::HH,
+                     32, 150, 0.28, 0.85, 1.2, 0.20, 0.20, 0.18, 0.95, 10));
+    return s;
+}
+
+} // namespace
+
+const std::vector<KernelProfile> &
+workloadSuite()
+{
+    static const std::vector<KernelProfile> suite = buildSuite();
+    return suite;
+}
+
+const KernelProfile &
+findWorkload(const std::string &abbr)
+{
+    for (const auto &p : workloadSuite())
+        if (p.abbr == abbr)
+            return p;
+    tenoc_fatal("unknown workload '", abbr, "'");
+}
+
+KernelProfile
+scaleWorkload(const KernelProfile &p, double factor)
+{
+    tenoc_assert(factor > 0.0, "scale factor must be positive");
+    KernelProfile out = p;
+    out.warpInstsPerWarp = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(p.warpInstsPerWarp) * factor));
+    return out;
+}
+
+} // namespace tenoc

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The synthetic benchmark suite mirroring Table I of the paper.
+ *
+ * Each of the 31 CUDA benchmarks is modeled as a KernelProfile
+ * calibrated so it lands in the traffic class the paper reports in
+ * Fig. 7 (LL / LH / HH) and exhibits the corresponding closed-loop
+ * behaviour (light traffic, heavy-but-balanced traffic, or traffic
+ * that saturates the MC reply path).  Absolute magnitudes are ours;
+ * classes and relative behaviour follow the paper.
+ */
+
+#ifndef TENOC_GPU_WORKLOADS_HH
+#define TENOC_GPU_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/kernel_profile.hh"
+
+namespace tenoc
+{
+
+/** @return the full 31-benchmark suite in the paper's Fig. 7 order. */
+const std::vector<KernelProfile> &workloadSuite();
+
+/** @return profile by abbreviation (AES, BFS, ...); fatal if absent. */
+const KernelProfile &findWorkload(const std::string &abbr);
+
+/**
+ * @return a copy of `p` with kernel length scaled by `factor`
+ * (useful for quick tests and CI-speed benchmark runs).
+ */
+KernelProfile scaleWorkload(const KernelProfile &p, double factor);
+
+} // namespace tenoc
+
+#endif // TENOC_GPU_WORKLOADS_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Round-robin arbiters used by the separable (iSLIP-style) allocators.
+ */
+
+#ifndef TENOC_NOC_ARBITER_HH
+#define TENOC_NOC_ARBITER_HH
+
+#include <vector>
+
+#include "common/log.hh"
+
+namespace tenoc
+{
+
+/**
+ * Classic rotating-priority arbiter.  grant() scans requestors starting
+ * just after the last winner; in iSLIP fashion the pointer only
+ * advances when a grant is accepted (callers that implement plain
+ * round-robin can pass update=true unconditionally).
+ */
+class RoundRobinArbiter
+{
+  public:
+    explicit RoundRobinArbiter(unsigned size = 0) : size_(size) {}
+
+    void resize(unsigned size)
+    {
+        size_ = size;
+        if (pointer_ >= size_)
+            pointer_ = 0;
+    }
+
+    unsigned size() const { return size_; }
+
+    /**
+     * @param requests request flags, size() entries
+     * @return winning index, or size() if no requests
+     */
+    unsigned
+    grant(const std::vector<bool> &requests) const
+    {
+        tenoc_assert(requests.size() == size_, "arbiter size mismatch");
+        for (unsigned i = 0; i < size_; ++i) {
+            const unsigned idx = (pointer_ + i) % size_;
+            if (requests[idx])
+                return idx;
+        }
+        return size_;
+    }
+
+    /** Advances priority past `winner` (call when grant is accepted). */
+    void
+    accept(unsigned winner)
+    {
+        tenoc_assert(winner < size_, "accept of invalid winner");
+        pointer_ = (winner + 1) % size_;
+    }
+
+  private:
+    unsigned size_;
+    unsigned pointer_ = 0;
+};
+
+} // namespace tenoc
+
+#endif // TENOC_NOC_ARBITER_HH

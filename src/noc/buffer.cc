@@ -1,0 +1,59 @@
+/**
+ * @file
+ * InputPort implementation.
+ */
+
+#include "noc/buffer.hh"
+
+namespace tenoc
+{
+
+InputPort::InputPort(unsigned vcs, unsigned depth)
+    : depth_(depth), vcs_(vcs)
+{
+    tenoc_assert(vcs >= 1 && depth >= 1, "bad input port geometry");
+}
+
+void
+InputPort::push(Flit &&flit, Cycle now)
+{
+    auto &entry = vcs_.at(flit.vc);
+    tenoc_assert(entry.fifo.size() < depth_,
+                 "VC buffer overflow (credit protocol violated), vc=",
+                 flit.vc);
+    flit.enqueueCycle = now;
+    entry.fifo.push_back(std::move(flit));
+}
+
+unsigned
+InputPort::freeSlots(unsigned vc) const
+{
+    return depth_ - static_cast<unsigned>(vcs_[vc].fifo.size());
+}
+
+const Flit &
+InputPort::front(unsigned vc) const
+{
+    tenoc_assert(!vcs_[vc].fifo.empty(), "front() on empty VC");
+    return vcs_[vc].fifo.front();
+}
+
+Flit
+InputPort::pop(unsigned vc)
+{
+    tenoc_assert(!vcs_[vc].fifo.empty(), "pop() on empty VC");
+    Flit f = std::move(vcs_[vc].fifo.front());
+    vcs_[vc].fifo.pop_front();
+    return f;
+}
+
+std::size_t
+InputPort::totalOccupancy() const
+{
+    std::size_t n = 0;
+    for (const auto &e : vcs_)
+        n += e.fifo.size();
+    return n;
+}
+
+} // namespace tenoc

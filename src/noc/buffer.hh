@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-input-port virtual channel buffers and VC bookkeeping.
+ */
+
+#ifndef TENOC_NOC_BUFFER_HH
+#define TENOC_NOC_BUFFER_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/log.hh"
+#include "noc/flit.hh"
+
+namespace tenoc
+{
+
+/** Pipeline state of one input virtual channel. */
+enum class VcState : std::uint8_t
+{
+    IDLE,     ///< no packet being routed through this VC
+    ROUTING,  ///< head flit buffered, awaiting route computation
+    VC_ALLOC, ///< route known, awaiting an output VC
+    ACTIVE    ///< output VC held; flits may traverse the switch
+};
+
+/**
+ * The buffers and per-VC state of one router input port.
+ */
+class InputPort
+{
+  public:
+    /**
+     * @param vcs number of virtual channels
+     * @param depth flit slots per VC
+     */
+    InputPort(unsigned vcs, unsigned depth);
+
+    unsigned numVcs() const { return static_cast<unsigned>(vcs_.size()); }
+    unsigned depth() const { return depth_; }
+
+    /** Buffers an arriving flit on its VC; panics on overflow. */
+    void push(Flit &&flit, Cycle now);
+
+    /** @return flits currently buffered on `vc`. */
+    std::size_t occupancy(unsigned vc) const { return vcs_[vc].fifo.size(); }
+
+    /** @return free slots on `vc`. */
+    unsigned freeSlots(unsigned vc) const;
+
+    bool empty(unsigned vc) const { return vcs_[vc].fifo.empty(); }
+
+    /** @return the flit at the head of `vc` (must be non-empty). */
+    const Flit &front(unsigned vc) const;
+
+    /** Removes and returns the head flit of `vc`. */
+    Flit pop(unsigned vc);
+
+    /** Per-VC pipeline state. */
+    VcState state(unsigned vc) const { return vcs_[vc].state; }
+    void setState(unsigned vc, VcState s) { vcs_[vc].state = s; }
+
+    /** Output port assigned by route computation. */
+    unsigned outPort(unsigned vc) const { return vcs_[vc].outPort; }
+    void setOutPort(unsigned vc, unsigned p) { vcs_[vc].outPort = p; }
+
+    /** Output VC granted by VC allocation. */
+    unsigned outVc(unsigned vc) const { return vcs_[vc].outVc; }
+    void setOutVc(unsigned vc, unsigned v) { vcs_[vc].outVc = v; }
+
+    /** Total flits buffered across all VCs. */
+    std::size_t totalOccupancy() const;
+
+  private:
+    struct VcEntry
+    {
+        std::deque<Flit> fifo;
+        VcState state = VcState::IDLE;
+        unsigned outPort = 0;
+        unsigned outVc = 0;
+    };
+
+    unsigned depth_;
+    std::vector<VcEntry> vcs_;
+};
+
+} // namespace tenoc
+
+#endif // TENOC_NOC_BUFFER_HH

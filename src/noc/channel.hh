@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Pipelined point-to-point channels.
+ *
+ * A Channel models a wire with a fixed latency in interconnect cycles:
+ * items pushed at cycle t become visible to the receiver at cycle
+ * t + latency.  Both flit channels and reverse credit channels use the
+ * same primitive.
+ */
+
+#ifndef TENOC_NOC_CHANNEL_HH
+#define TENOC_NOC_CHANNEL_HH
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace tenoc
+{
+
+/**
+ * FIFO channel with delivery latency.  At most one item may be pushed
+ * per cycle (enforced); receivers poll with receive(now).
+ */
+template <typename T>
+class Channel
+{
+  public:
+    explicit Channel(Cycle latency = 1) : latency_(latency) {}
+
+    Cycle latency() const { return latency_; }
+
+    /** Sends an item at cycle `now`; it arrives at now + latency. */
+    void
+    send(T item, Cycle now)
+    {
+        tenoc_assert(last_send_ == INVALID_CYCLE || now > last_send_,
+                     "channel accepts at most one item per cycle");
+        last_send_ = now;
+        queue_.emplace_back(now + latency_, std::move(item));
+    }
+
+    /** @return the next item if it has arrived by cycle `now`. */
+    std::optional<T>
+    receive(Cycle now)
+    {
+        if (queue_.empty() || queue_.front().first > now)
+            return std::nullopt;
+        T item = std::move(queue_.front().second);
+        queue_.pop_front();
+        return item;
+    }
+
+    /** @return true if no items are in flight. */
+    bool empty() const { return queue_.empty(); }
+
+    /** Number of items in flight. */
+    std::size_t inFlight() const { return queue_.size(); }
+
+  private:
+    Cycle latency_;
+    Cycle last_send_ = INVALID_CYCLE;
+    std::deque<std::pair<Cycle, T>> queue_;
+};
+
+/** Credit message: one freed buffer slot on a given VC. */
+struct Credit
+{
+    unsigned vc = 0;
+};
+
+} // namespace tenoc
+
+#endif // TENOC_NOC_CHANNEL_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Packets and flits.
+ *
+ * A Packet is the unit injected by a network interface; it is broken
+ * into one or more 16-byte (or 8-byte, for channel-sliced networks)
+ * Flits for transmission.  The traffic mix follows Sec. III-D of the
+ * paper: small read-request / write-ack packets and large write-request
+ * / read-reply packets carrying a 64-byte cache line.
+ */
+
+#ifndef TENOC_NOC_FLIT_HH
+#define TENOC_NOC_FLIT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tenoc
+{
+
+/** Routing mode chosen for a packet at injection time. */
+enum class RouteMode : std::uint8_t
+{
+    XY,       ///< dimension-order, X first
+    YX,       ///< dimension-order, Y first (CR "header bit" set)
+    TWO_PHASE ///< CR: YX to an intermediate full router, then XY
+};
+
+/**
+ * One network packet.  Owned via shared_ptr; flits reference it.
+ */
+struct Packet
+{
+    std::uint64_t id = 0;          ///< unique id (assigned by network)
+    NodeId src = INVALID_NODE;     ///< source node
+    NodeId dst = INVALID_NODE;     ///< destination node
+    MemOp op = MemOp::READ_REQUEST;///< semantic payload type
+    unsigned sizeFlits = 1;        ///< length in flits
+    unsigned sizeBytes = 8;        ///< semantic size in bytes
+    int protoClass = 0;            ///< 0 = request, 1 = reply
+    Addr addr = 0;                 ///< memory address (closed loop)
+    std::uint64_t tag = 0;         ///< opaque payload handle
+
+    // --- routing state (set by RoutingAlgorithm::initPacket) ---
+    RouteMode mode = RouteMode::XY;
+    NodeId intermediate = INVALID_NODE; ///< TWO_PHASE waypoint
+    bool phase2 = false;           ///< TWO_PHASE: reached waypoint
+
+    // --- timing (interconnect cycles) ---
+    /** Creation time; stamped by the source (or, if unset, by the NI
+     *  at enqueue) so latency includes source-side queueing. */
+    Cycle createdCycle = INVALID_CYCLE;
+    Cycle injectedCycle = INVALID_CYCLE; ///< head flit entered router
+    Cycle ejectedCycle = INVALID_CYCLE;  ///< tail flit left network
+
+    /** Current routing class: 0 for an XY leg, 1 for a YX leg. */
+    int routeClass() const;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/** Returns the semantic byte size for a MemOp (8 B header convention). */
+unsigned memOpBytes(MemOp op);
+
+/** Number of flits for `bytes` payload with `flit_bytes` channels. */
+unsigned flitsForBytes(unsigned bytes, unsigned flit_bytes);
+
+/**
+ * One flit.  Flits move between routers over Channels; the VC field is
+ * rewritten by each hop's switch allocation.
+ */
+struct Flit
+{
+    PacketPtr pkt;          ///< owning packet
+    unsigned seq = 0;       ///< flit index within packet
+    bool head = false;      ///< first flit (carries routing info)
+    bool tail = false;      ///< last flit (releases VCs)
+    unsigned vc = 0;        ///< virtual channel on the current link
+    Cycle enqueueCycle = 0; ///< arrival time at the current buffer
+};
+
+/** Builds the flit sequence for a packet. */
+void makeFlits(const PacketPtr &pkt, std::vector<Flit> &out);
+
+} // namespace tenoc
+
+#endif // TENOC_NOC_FLIT_HH

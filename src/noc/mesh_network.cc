@@ -1,0 +1,246 @@
+/**
+ * @file
+ * MeshNetwork / DoubleNetwork implementation.
+ */
+
+#include "noc/mesh_network.hh"
+
+namespace tenoc
+{
+
+double
+NetStats::acceptedBytesPerCyclePerNode() const
+{
+    if (cycles == 0 || nodeEjectedBytes.empty())
+        return 0.0;
+    std::uint64_t total = 0;
+    for (auto b : nodeEjectedBytes)
+        total += b;
+    return static_cast<double>(total) /
+        (static_cast<double>(cycles) * nodeEjectedBytes.size());
+}
+
+double
+NetStats::injectionRate(const std::vector<NodeId> &nodes) const
+{
+    if (cycles == 0 || nodes.empty())
+        return 0.0;
+    std::uint64_t total = 0;
+    for (NodeId n : nodes)
+        total += nodeInjectedFlits[n];
+    return static_cast<double>(total) /
+        (static_cast<double>(cycles) * nodes.size());
+}
+
+MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
+                         NetStats *shared_stats)
+    : params_(params), topo_(params.topo),
+      routing_(makeRouting(params.routing, topo_)),
+      rng_(params.seed)
+{
+    vc_map_.protoClasses = params_.protoClasses;
+    vc_map_.routeClasses = routing_->numRouteClasses();
+    vc_map_.vcsPerClass = params_.vcsPerClass;
+
+    if (shared_stats) {
+        stats_ = shared_stats;
+    } else {
+        owned_stats_ = std::make_unique<NetStats>(topo_.numNodes());
+        stats_ = owned_stats_.get();
+    }
+
+    // Routers.
+    routers_.reserve(topo_.numNodes());
+    for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+        Router::Params rp;
+        rp.vcMap = vc_map_;
+        rp.vcDepth = params_.vcDepth;
+        rp.agePriority = params_.agePriority;
+        rp.half = topo_.isHalfRouter(n);
+        rp.pipelineDepth =
+            rp.half ? params_.halfPipelineDepth : params_.pipelineDepth;
+        if (topo_.isMc(n)) {
+            rp.numInjPorts = params_.mcInjPorts;
+            rp.numEjPorts = params_.mcEjPorts;
+        }
+        routers_.push_back(
+            std::make_unique<Router>(n, topo_, *routing_, rp));
+    }
+
+    // Channels between adjacent routers (one flit + one credit channel
+    // per direction per edge).
+    for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+        for (unsigned d = 0; d < NUM_DIRS; ++d) {
+            const auto dir = static_cast<Direction>(d);
+            const NodeId nb = topo_.neighbor(n, dir);
+            if (nb == INVALID_NODE)
+                continue;
+            auto fc =
+                std::make_unique<Channel<Flit>>(params_.channelLatency);
+            auto cc = std::make_unique<Channel<Credit>>(
+                params_.channelLatency);
+            routers_[n]->connectOutput(dir, fc.get(), cc.get());
+            routers_[nb]->connectInput(opposite(dir), fc.get(),
+                                       cc.get());
+            flit_channels_.push_back(std::move(fc));
+            credit_channels_.push_back(std::move(cc));
+        }
+    }
+
+    // Network interfaces.
+    nis_.reserve(topo_.numNodes());
+    for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+        nis_.push_back(std::make_unique<NetworkInterface>(
+            n, *routers_[n], vc_map_, params_.ni, *stats_));
+        routers_[n]->setEjectionSink(nis_[n].get());
+    }
+}
+
+bool
+MeshNetwork::canInject(NodeId n, int proto_class) const
+{
+    return nis_[n]->canInject(proto_class);
+}
+
+unsigned
+MeshNetwork::injectSpace(NodeId n, int proto_class) const
+{
+    return nis_[n]->injectSpace(proto_class);
+}
+
+void
+MeshNetwork::inject(PacketPtr pkt, Cycle now)
+{
+    tenoc_assert(pkt->src < topo_.numNodes() &&
+                 pkt->dst < topo_.numNodes(), "invalid endpoints");
+    pkt->id = next_pkt_id_++;
+    routing_->initPacket(*pkt, rng_);
+    nis_[pkt->src]->enqueue(std::move(pkt), now);
+}
+
+void
+MeshNetwork::setSink(NodeId n, PacketSink *sink)
+{
+    nis_[n]->setSink(sink);
+}
+
+void
+MeshNetwork::cycle(Cycle now)
+{
+    ++stats_->cycles;
+    for (auto &r : routers_)
+        r->readInputs(now);
+    for (auto &ni : nis_)
+        ni->injectPhase(now);
+    for (auto &r : routers_)
+        r->compute(now);
+    for (auto &ni : nis_)
+        ni->drainPhase(now);
+}
+
+bool
+MeshNetwork::drained() const
+{
+    for (const auto &r : routers_)
+        if (!r->empty())
+            return false;
+    for (const auto &ni : nis_)
+        if (!ni->idle())
+            return false;
+    for (const auto &c : flit_channels_)
+        if (!c->empty())
+            return false;
+    return true;
+}
+
+DoubleNetwork::DoubleNetwork(const MeshNetworkParams &base)
+{
+    MeshNetworkParams slice = base;
+    slice.flitBytes = base.flitBytes / 2;
+    tenoc_assert(slice.flitBytes > 0, "cannot slice 1-byte channels");
+    slice.protoClasses = 1; // dedicated networks need no protocol VCs
+    // Keep each slice's total buffer *storage* equal to the unsliced
+    // network by doubling the lanes per class (flits are half-width).
+    // See DESIGN.md: our flit-level wormhole router needs the extra
+    // lanes to reach BookSim-like utilization on half-width worms.
+    slice.vcsPerClass = base.vcsPerClass * 2;
+
+    stats_ = std::make_unique<NetStats>(
+        base.topo.rows * base.topo.cols);
+
+    // MC terminal ports are direction-specific: requests only *eject*
+    // at MCs (request slice), replies only *inject* (reply slice), so
+    // the multi-port upgrade applies to one slice each (Sec. IV-D).
+    MeshNetworkParams req_slice = slice;
+    req_slice.mcInjPorts = 1;
+    request_ = std::make_unique<MeshNetwork>(req_slice, stats_.get());
+
+    MeshNetworkParams rep_slice = slice;
+    rep_slice.mcEjPorts = 1;
+    rep_slice.seed = base.seed + 0x9e3779b9ULL;
+    reply_ = std::make_unique<MeshNetwork>(rep_slice, stats_.get());
+}
+
+unsigned
+DoubleNetwork::flitBytes() const
+{
+    return request_->flitBytes();
+}
+
+MeshNetwork &
+DoubleNetwork::subnetFor(int proto_class) const
+{
+    return proto_class == 0 ? *request_ : *reply_;
+}
+
+bool
+DoubleNetwork::canInject(NodeId n, int proto_class) const
+{
+    return subnetFor(proto_class).canInject(n, proto_class);
+}
+
+unsigned
+DoubleNetwork::injectSpace(NodeId n, int proto_class) const
+{
+    return subnetFor(proto_class).injectSpace(n, proto_class);
+}
+
+void
+DoubleNetwork::inject(PacketPtr pkt, Cycle now)
+{
+    subnetFor(pkt->protoClass).inject(std::move(pkt), now);
+}
+
+void
+DoubleNetwork::setSink(NodeId n, PacketSink *sink)
+{
+    request_->setSink(n, sink);
+    reply_->setSink(n, sink);
+}
+
+void
+DoubleNetwork::cycle(Cycle now)
+{
+    ++stats_->cycles;
+    // Each slice bumps the shared cycle counter; correct for the
+    // double count so `cycles` tracks wall interconnect cycles.
+    request_->cycle(now);
+    reply_->cycle(now);
+    stats_->cycles -= 2;
+}
+
+bool
+DoubleNetwork::drained() const
+{
+    return request_->drained() && reply_->drained();
+}
+
+std::unique_ptr<Network>
+makeMeshNetwork(const MeshNetworkParams &params, bool sliced)
+{
+    if (sliced)
+        return std::make_unique<DoubleNetwork>(params);
+    return std::make_unique<MeshNetwork>(params);
+}
+
+} // namespace tenoc

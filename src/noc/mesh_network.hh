@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Flit-level 2D mesh network, plus the channel-sliced "double network"
+ * (Sec. IV-C) that runs requests and replies on two parallel
+ * half-width physical networks.
+ */
+
+#ifndef TENOC_NOC_MESH_NETWORK_HH
+#define TENOC_NOC_MESH_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "noc/network.hh"
+#include "noc/network_interface.hh"
+#include "noc/router.hh"
+
+namespace tenoc
+{
+
+/** Mesh network configuration (defaults follow Table III). */
+struct MeshNetworkParams
+{
+    TopologyParams topo;
+    std::string routing = "xy";     ///< "xy", "yx", or "cr"
+    unsigned flitBytes = 16;        ///< channel width
+    unsigned protoClasses = 2;      ///< VC protocol classes
+    unsigned vcsPerClass = 1;       ///< lanes per (proto, route) class
+    unsigned vcDepth = 8;           ///< buffers per VC
+    unsigned pipelineDepth = 4;     ///< full-router pipeline stages
+    unsigned halfPipelineDepth = 3; ///< half-router pipeline stages
+    Cycle channelLatency = 1;
+    unsigned mcInjPorts = 1;        ///< injection ports at MC routers
+    unsigned mcEjPorts = 1;         ///< ejection ports at MC routers
+    /** Oldest-first switch allocation (global fairness; see
+     *  Router::Params::agePriority). */
+    bool agePriority = false;
+    NiParams ni;
+    std::uint64_t seed = 1;
+};
+
+/** Cycle-accurate mesh NoC. */
+class MeshNetwork : public Network
+{
+  public:
+    /**
+     * @param params configuration
+     * @param shared_stats optional external stats block (used by
+     *        DoubleNetwork to aggregate both slices); when null the
+     *        network owns its stats.
+     */
+    explicit MeshNetwork(const MeshNetworkParams &params,
+                         NetStats *shared_stats = nullptr);
+
+    const Topology &topology() const override { return topo_; }
+    unsigned flitBytes() const override { return params_.flitBytes; }
+    bool canInject(NodeId n, int proto_class) const override;
+    unsigned injectSpace(NodeId n, int proto_class) const override;
+    void inject(PacketPtr pkt, Cycle now) override;
+    void setSink(NodeId n, PacketSink *sink) override;
+    void cycle(Cycle now) override;
+    bool drained() const override;
+    NetStats &stats() override { return *stats_; }
+
+    const VcMap &vcMap() const { return vc_map_; }
+    const RoutingAlgorithm &routing() const { return *routing_; }
+    Router &router(NodeId n) { return *routers_[n]; }
+    const MeshNetworkParams &params() const { return params_; }
+
+  private:
+    MeshNetworkParams params_;
+    Topology topo_;
+    std::unique_ptr<RoutingAlgorithm> routing_;
+    VcMap vc_map_;
+    Rng rng_;
+
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<NetworkInterface>> nis_;
+    std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
+    std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
+
+    std::unique_ptr<NetStats> owned_stats_;
+    NetStats *stats_;
+    std::uint64_t next_pkt_id_ = 1;
+};
+
+/**
+ * Dedicated double network (Sec. IV-C): one physical network carries
+ * request packets, the other replies; each slice has half-width
+ * channels and needs no protocol VCs.
+ */
+class DoubleNetwork : public Network
+{
+  public:
+    /**
+     * Builds two slices from `base`: channel width halved, protocol
+     * classes dropped to 1 per slice.
+     */
+    explicit DoubleNetwork(const MeshNetworkParams &base);
+
+    const Topology &topology() const override
+    {
+        return request_->topology();
+    }
+    unsigned flitBytes() const override;
+    bool canInject(NodeId n, int proto_class) const override;
+    unsigned injectSpace(NodeId n, int proto_class) const override;
+    void inject(PacketPtr pkt, Cycle now) override;
+    void setSink(NodeId n, PacketSink *sink) override;
+    void cycle(Cycle now) override;
+    bool drained() const override;
+    NetStats &stats() override { return *stats_; }
+
+    MeshNetwork &requestNet() { return *request_; }
+    MeshNetwork &replyNet() { return *reply_; }
+
+  private:
+    MeshNetwork &subnetFor(int proto_class) const;
+
+    std::unique_ptr<NetStats> stats_;
+    std::unique_ptr<MeshNetwork> request_;
+    std::unique_ptr<MeshNetwork> reply_;
+};
+
+/**
+ * Builds either a single MeshNetwork or a DoubleNetwork depending on
+ * `sliced`; when sliced, channel width is halved per slice so total
+ * bisection bandwidth is unchanged (the paper's comparison).
+ */
+std::unique_ptr<Network> makeMeshNetwork(const MeshNetworkParams &params,
+                                         bool sliced);
+
+} // namespace tenoc
+
+#endif // TENOC_NOC_MESH_NETWORK_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Abstract network interface shared by the mesh simulator, the
+ * channel-sliced double network, and the ideal networks used in the
+ * paper's limit studies.
+ */
+
+#ifndef TENOC_NOC_NETWORK_HH
+#define TENOC_NOC_NETWORK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "noc/flit.hh"
+#include "noc/topology.hh"
+
+namespace tenoc
+{
+
+/**
+ * Consumer of packets at a node (compute core or MC).
+ *
+ * tryReserve() is called when a packet's head flit reaches the front
+ * of the NI ejection buffer; returning false applies backpressure into
+ * the network.  deliver() is called when the tail flit drains.
+ */
+class PacketSink
+{
+  public:
+    virtual ~PacketSink() = default;
+    virtual bool tryReserve(const Packet &pkt) = 0;
+    virtual void deliver(PacketPtr pkt, Cycle now) = 0;
+};
+
+/** Aggregate network statistics (shared across sliced subnetworks). */
+struct NetStats
+{
+    explicit NetStats(unsigned num_nodes = 0)
+        : nodeInjectedFlits(num_nodes, 0),
+          nodeEjectedFlits(num_nodes, 0),
+          nodeInjectedBytes(num_nodes, 0),
+          nodeEjectedBytes(num_nodes, 0)
+    {}
+
+    std::uint64_t cycles = 0;
+    std::uint64_t packetsInjected = 0;
+    std::uint64_t packetsEjected = 0;
+    std::uint64_t flitsInjected = 0;
+    std::uint64_t flitsEjected = 0;
+
+    /** Packet latency: NI enqueue -> tail ejected (queueing included). */
+    Accumulator totalLatency{"total_latency"};
+    /** Network latency: head entered router -> tail ejected. */
+    Accumulator netLatency{"net_latency"};
+    /** Distribution of total latency (for tail percentiles). */
+    Histogram totalLatencyHist{"total_latency_hist", 0.0, 4000.0, 400};
+
+    std::vector<std::uint64_t> nodeInjectedFlits;
+    std::vector<std::uint64_t> nodeEjectedFlits;
+    std::vector<std::uint64_t> nodeInjectedBytes;
+    std::vector<std::uint64_t> nodeEjectedBytes;
+
+    /** Mean accepted traffic over all nodes, bytes/cycle/node. */
+    double acceptedBytesPerCyclePerNode() const;
+
+    /** Mean injection rate of a node set, flits/cycle/node. */
+    double injectionRate(const std::vector<NodeId> &nodes) const;
+};
+
+/** Abstract interconnect. */
+class Network
+{
+  public:
+    virtual ~Network() = default;
+
+    virtual const Topology &topology() const = 0;
+    virtual unsigned flitBytes() const = 0;
+
+    /** @return true if the NI at `n` can queue one more packet. */
+    virtual bool canInject(NodeId n, int proto_class) const = 0;
+
+    /** @return number of packets the NI at `n` can still queue. */
+    virtual unsigned injectSpace(NodeId n, int proto_class) const = 0;
+
+    /** Queues a packet for injection (caller checked canInject). */
+    virtual void inject(PacketPtr pkt, Cycle now) = 0;
+
+    /** Registers the packet consumer at node `n`. */
+    virtual void setSink(NodeId n, PacketSink *sink) = 0;
+
+    /** Advances one interconnect cycle. */
+    virtual void cycle(Cycle now) = 0;
+
+    /** @return true when no traffic remains in flight. */
+    virtual bool drained() const = 0;
+
+    virtual NetStats &stats() = 0;
+    const NetStats &stats() const
+    {
+        return const_cast<Network *>(this)->stats();
+    }
+
+    /** Flits needed to carry a memory operation on this network. */
+    unsigned
+    packetFlits(MemOp op) const
+    {
+        return flitsForBytes(memOpBytes(op), flitBytes());
+    }
+};
+
+} // namespace tenoc
+
+#endif // TENOC_NOC_NETWORK_HH

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * NetworkInterface implementation.
+ */
+
+#include "noc/network_interface.hh"
+
+namespace tenoc
+{
+
+NetworkInterface::NetworkInterface(NodeId node, Router &router,
+                                   const VcMap &vc_map,
+                                   const NiParams &params,
+                                   NetStats &stats)
+    : node_(node), router_(router), vc_map_(vc_map), params_(params),
+      stats_(stats)
+{
+    inj_queues_.resize(vc_map_.protoClasses);
+    lane_rr_.assign(vc_map_.protoClasses, 0);
+    active_.assign(router_.params().numInjPorts,
+                   std::vector<ActivePacket>(vc_map_.numVcs()));
+    vc_rr_.assign(router_.params().numInjPorts, 0);
+    ej_bufs_.resize(router_.params().numEjPorts);
+}
+
+bool
+NetworkInterface::canInject(int proto_class) const
+{
+    const auto cls =
+        static_cast<unsigned>(proto_class) % vc_map_.protoClasses;
+    return inj_queues_[cls].size() < params_.injQueueCap;
+}
+
+unsigned
+NetworkInterface::injectSpace(int proto_class) const
+{
+    const auto cls =
+        static_cast<unsigned>(proto_class) % vc_map_.protoClasses;
+    const auto used = inj_queues_[cls].size();
+    return used >= params_.injQueueCap
+        ? 0 : static_cast<unsigned>(params_.injQueueCap - used);
+}
+
+void
+NetworkInterface::enqueue(PacketPtr pkt, Cycle now)
+{
+    tenoc_assert(pkt->src == node_, "packet enqueued at wrong NI");
+    tenoc_assert(pkt->dst != node_, "self-addressed packet");
+    const auto cls =
+        static_cast<unsigned>(pkt->protoClass) % vc_map_.protoClasses;
+    tenoc_assert(inj_queues_[cls].size() < params_.injQueueCap,
+                 "NI injection queue overflow at node ", node_);
+    if (pkt->createdCycle == INVALID_CYCLE)
+        pkt->createdCycle = now;
+    inj_queues_[cls].push_back(std::move(pkt));
+}
+
+bool
+NetworkInterface::refillOne(Cycle now)
+{
+    (void)now;
+    const unsigned classes = vc_map_.protoClasses;
+    const unsigned ports = static_cast<unsigned>(active_.size());
+    for (unsigned i = 0; i < classes; ++i) {
+        const unsigned cls = (class_rr_ + i) % classes;
+        if (inj_queues_[cls].empty())
+            continue;
+        const Packet &pkt = *inj_queues_[cls].front();
+        const unsigned base = vc_map_.baseVc(pkt);
+        // Find a free (port, lane) slot for this packet's VC class,
+        // round-robin over ports (Sec. IV-D) and lanes.
+        for (unsigned pi = 0; pi < ports; ++pi) {
+            const unsigned p = (port_rr_ + pi) % ports;
+            for (unsigned li = 0; li < vc_map_.vcsPerClass; ++li) {
+                const unsigned lane =
+                    (lane_rr_[cls] + li) % vc_map_.vcsPerClass;
+                const unsigned vc = base + lane;
+                auto &act = active_[p][vc];
+                if (act.valid)
+                    continue;
+                act.pkt = std::move(inj_queues_[cls].front());
+                inj_queues_[cls].pop_front();
+                makeFlits(act.pkt, act.flits);
+                act.next = 0;
+                act.valid = true;
+                for (auto &f : act.flits)
+                    f.vc = vc;
+                class_rr_ = (cls + 1) % classes;
+                lane_rr_[cls] = (lane + 1) % vc_map_.vcsPerClass;
+                port_rr_ = (p + 1) % ports;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void
+NetworkInterface::injectPhase(Cycle now)
+{
+    while (refillOne(now)) {
+    }
+    const unsigned ports = static_cast<unsigned>(active_.size());
+    const unsigned vcs = vc_map_.numVcs();
+    for (unsigned p = 0; p < ports; ++p) {
+        // One flit per port per cycle (terminal bandwidth); pick the
+        // next streamable VC round-robin.
+        for (unsigned vi = 0; vi < vcs; ++vi) {
+            const unsigned vc = (vc_rr_[p] + vi) % vcs;
+            auto &act = active_[p][vc];
+            if (!act.valid || router_.injFreeSlots(p, vc) == 0)
+                continue;
+            Flit flit = act.flits[act.next];
+            if (flit.head && act.pkt->injectedCycle == INVALID_CYCLE)
+                act.pkt->injectedCycle = now;
+            ++stats_.flitsInjected;
+            stats_.nodeInjectedFlits[node_] += 1;
+            router_.injectFlit(p, std::move(flit), now);
+            ++act.next;
+            if (act.next == act.flits.size()) {
+                ++stats_.packetsInjected;
+                stats_.nodeInjectedBytes[node_] += act.pkt->sizeBytes;
+                act = ActivePacket{};
+            }
+            vc_rr_[p] = (vc + 1) % vcs;
+            break;
+        }
+    }
+}
+
+bool
+NetworkInterface::ejectReady(unsigned ej_port) const
+{
+    return ej_bufs_[ej_port].size() < params_.ejBufferFlits;
+}
+
+void
+NetworkInterface::ejectFlit(unsigned ej_port, Flit &&flit, Cycle now)
+{
+    (void)now;
+    tenoc_assert(ej_bufs_[ej_port].size() < params_.ejBufferFlits,
+                 "ejection buffer overflow at node ", node_);
+    ej_bufs_[ej_port].push_back(std::move(flit));
+}
+
+void
+NetworkInterface::drainPhase(Cycle now)
+{
+    for (auto &buf : ej_bufs_) {
+        if (buf.empty())
+            continue;
+        Flit &f = buf.front();
+        if (f.head && sink_ && !sink_->tryReserve(*f.pkt))
+            continue; // node backpressure (e.g. MC queue full)
+        Flit flit = std::move(buf.front());
+        buf.pop_front();
+        ++stats_.flitsEjected;
+        stats_.nodeEjectedFlits[node_] += 1;
+        if (flit.tail) {
+            PacketPtr pkt = flit.pkt;
+            pkt->ejectedCycle = now;
+            ++stats_.packetsEjected;
+            stats_.nodeEjectedBytes[node_] += pkt->sizeBytes;
+            stats_.totalLatency.sample(
+                static_cast<double>(now - pkt->createdCycle));
+            stats_.totalLatencyHist.sample(
+                static_cast<double>(now - pkt->createdCycle));
+            if (pkt->injectedCycle != INVALID_CYCLE) {
+                stats_.netLatency.sample(
+                    static_cast<double>(now - pkt->injectedCycle));
+            }
+            if (sink_)
+                sink_->deliver(std::move(pkt), now);
+        }
+    }
+}
+
+bool
+NetworkInterface::idle() const
+{
+    for (const auto &q : inj_queues_)
+        if (!q.empty())
+            return false;
+    for (const auto &port : active_)
+        for (const auto &a : port)
+            if (a.valid)
+                return false;
+    for (const auto &b : ej_bufs_)
+        if (!b.empty())
+            return false;
+    return true;
+}
+
+} // namespace tenoc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Network interface (NI): the glue between a node (compute core or MC)
+ * and its router.
+ *
+ * Injection side: per-protocol-class packet queues; each injection
+ * port streams one flit per cycle into the router's injection buffer
+ * (this per-port limit is exactly the terminal bandwidth that the
+ * paper's multi-port MC routers raise).
+ *
+ * Ejection side: a small flit buffer per ejection port drained at one
+ * flit per cycle into the node, with backpressure through
+ * PacketSink::tryReserve (an MC whose request queue is full blocks the
+ * ejection buffer, which backs up into the network).
+ */
+
+#ifndef TENOC_NOC_NETWORK_INTERFACE_HH
+#define TENOC_NOC_NETWORK_INTERFACE_HH
+
+#include <deque>
+#include <vector>
+
+#include "noc/network.hh"
+#include "noc/router.hh"
+
+namespace tenoc
+{
+
+/** NI configuration. */
+struct NiParams
+{
+    unsigned injQueueCap = 8;    ///< packets per protocol class
+    /** Flit slots per ejection port.  Sized to hold several maximum-
+     *  size packets so one in-flight write worm cannot head-of-line
+     *  block the node interface. */
+    unsigned ejBufferFlits = 32;
+};
+
+class NetworkInterface : public EjectionSink
+{
+  public:
+    /**
+     * @param node node id
+     * @param router local router (already constructed)
+     * @param vc_map network VC organization
+     * @param params NI configuration
+     * @param stats shared network statistics block
+     */
+    NetworkInterface(NodeId node, Router &router, const VcMap &vc_map,
+                     const NiParams &params, NetStats &stats);
+
+    NodeId node() const { return node_; }
+
+    void setSink(PacketSink *sink) { sink_ = sink; }
+
+    /** @return true if one more packet fits in the class queue. */
+    bool canInject(int proto_class) const;
+
+    /** @return free packet slots in the class queue. */
+    unsigned injectSpace(int proto_class) const;
+
+    /** Queues a packet (route must already be initialized). */
+    void enqueue(PacketPtr pkt, Cycle now);
+
+    /** Streams flits into the router; call once per icnt cycle. */
+    void injectPhase(Cycle now);
+
+    /** Drains ejection buffers into the node; once per icnt cycle. */
+    void drainPhase(Cycle now);
+
+    // EjectionSink
+    bool ejectReady(unsigned ej_port) const override;
+    void ejectFlit(unsigned ej_port, Flit &&flit, Cycle now) override;
+
+    /** @return true when all queues and buffers are empty. */
+    bool idle() const;
+
+  private:
+    struct ActivePacket
+    {
+        PacketPtr pkt;
+        std::vector<Flit> flits;
+        unsigned next = 0;
+        bool valid = false;
+    };
+
+    /** Tries to assign one queued packet to a free (port, vc) slot. */
+    bool refillOne(Cycle now);
+
+    NodeId node_;
+    Router &router_;
+    VcMap vc_map_;
+    NiParams params_;
+    NetStats &stats_;
+    PacketSink *sink_ = nullptr;
+
+    std::vector<std::deque<PacketPtr>> inj_queues_; ///< per class
+    /** One in-flight packet per (injection port, VC): removes NI
+     *  head-of-line blocking while keeping the 1 flit/cycle/port
+     *  terminal bandwidth that multi-port MC routers raise. */
+    std::vector<std::vector<ActivePacket>> active_; ///< [port][vc]
+    std::vector<unsigned> lane_rr_;                 ///< per class
+    std::vector<unsigned> vc_rr_;                   ///< per port
+    unsigned class_rr_ = 0;
+    unsigned port_rr_ = 0;
+
+    std::vector<std::deque<Flit>> ej_bufs_;         ///< per ej port
+};
+
+} // namespace tenoc
+
+#endif // TENOC_NOC_NETWORK_INTERFACE_HH

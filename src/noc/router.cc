@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Router implementation.
+ */
+
+#include "noc/router.hh"
+
+namespace tenoc
+{
+
+Router::Router(NodeId id, const Topology &topo,
+               RoutingAlgorithm &routing, const Params &params)
+    : id_(id), topo_(topo), routing_(routing), params_(params)
+{
+    tenoc_assert(params_.numInjPorts >= 1 && params_.numEjPorts >= 1,
+                 "router needs at least one injection/ejection port");
+    const unsigned vcs = numVcs();
+    inputs_.assign(numInputs(), InputPort(vcs, params_.vcDepth));
+    outputs_.resize(numOutputs());
+    in_links_.resize(NUM_DIRS);
+    sa_input_arb_.assign(numInputs(), RoundRobinArbiter(vcs));
+    for (unsigned o = 0; o < numOutputs(); ++o) {
+        outputs_[o].vcs.resize(vcs);
+        outputs_[o].vaArb.resize(numInputs() * vcs);
+        outputs_[o].saArb.resize(numInputs());
+        if (isEjection(o)) {
+            // Ejection capacity is governed by the NI sink, not
+            // credits.
+            for (auto &v : outputs_[o].vcs)
+                v.credits = 0;
+        }
+    }
+}
+
+void
+Router::connectOutput(Direction d, Channel<Flit> *flit_out,
+                      Channel<Credit> *credit_in)
+{
+    tenoc_assert(d < NUM_DIRS, "invalid output direction");
+    outputs_[d].flitOut = flit_out;
+    outputs_[d].creditIn = credit_in;
+    for (auto &v : outputs_[d].vcs)
+        v.credits = params_.vcDepth;
+}
+
+void
+Router::connectInput(Direction d, Channel<Flit> *flit_in,
+                     Channel<Credit> *credit_out)
+{
+    tenoc_assert(d < NUM_DIRS, "invalid input direction");
+    in_links_[d].flitIn = flit_in;
+    in_links_[d].creditOut = credit_out;
+}
+
+unsigned
+Router::injFreeSlots(unsigned inj, unsigned vc) const
+{
+    return inputs_[NUM_DIRS + inj].freeSlots(vc);
+}
+
+void
+Router::injectFlit(unsigned inj, Flit &&flit, Cycle now)
+{
+    inputs_[NUM_DIRS + inj].push(std::move(flit), now);
+}
+
+bool
+Router::connectivityAllows(unsigned in, unsigned out) const
+{
+    if (isInjection(in))
+        return true; // injection reaches every output
+    if (isEjection(out))
+        return true;             // every input reaches ejection
+    if (!params_.half) {
+        // Full crossbar; U-turns are legal (non-minimal schemes such
+        // as Valiant may reverse direction at their waypoint).
+        return true;
+    }
+    // Half-router: through traffic must continue straight (Fig. 13).
+    return out == opposite(static_cast<Direction>(in));
+}
+
+void
+Router::readInputs(Cycle now)
+{
+    for (unsigned d = 0; d < NUM_DIRS; ++d) {
+        if (in_links_[d].flitIn) {
+            while (auto f = in_links_[d].flitIn->receive(now))
+                inputs_[d].push(std::move(*f), now);
+        }
+        if (outputs_[d].creditIn) {
+            while (auto c = outputs_[d].creditIn->receive(now))
+                ++outputs_[d].vcs[c->vc].credits;
+        }
+    }
+}
+
+void
+Router::compute(Cycle now)
+{
+    routeCompute(now);
+    vcAllocate(now);
+    switchAllocate(now);
+}
+
+Cycle
+Router::packetAge(const Flit &f)
+{
+    return f.pkt->injectedCycle != INVALID_CYCLE
+        ? f.pkt->injectedCycle : f.pkt->createdCycle;
+}
+
+unsigned
+Router::nextEjectionPort()
+{
+    const unsigned p = ej_rr_ % params_.numEjPorts;
+    ++ej_rr_;
+    return NUM_DIRS + p;
+}
+
+void
+Router::routeCompute(Cycle now)
+{
+    (void)now;
+    const unsigned vcs = numVcs();
+    for (unsigned in = 0; in < numInputs(); ++in) {
+        for (unsigned vc = 0; vc < vcs; ++vc) {
+            auto &port = inputs_[in];
+            if (port.state(vc) != VcState::IDLE || port.empty(vc))
+                continue;
+            const Flit &head = port.front(vc);
+            tenoc_assert(head.head,
+                         "non-head flit at front of idle VC (router ",
+                         id_, " in ", in, " vc ", vc, ")");
+            Packet &pkt = *head.pkt;
+            unsigned out = routing_.route(id_, pkt);
+            if (out == PORT_EJECT) {
+                tenoc_assert(pkt.dst == id_,
+                             "ejection at non-destination node");
+                out = nextEjectionPort();
+            } else {
+                tenoc_assert(out < NUM_DIRS &&
+                             topo_.neighbor(id_,
+                                 static_cast<Direction>(out)) !=
+                                 INVALID_NODE,
+                             "route off mesh edge at node ", id_);
+            }
+            tenoc_assert(connectivityAllows(in, out),
+                         "illegal turn at ", params_.half ? "half" :
+                         "full", "-router ", id_, ": in=", dirName(in),
+                         " out=", dirName(out));
+            port.setOutPort(vc, out);
+            port.setState(vc, VcState::VC_ALLOC);
+        }
+    }
+}
+
+void
+Router::vcAllocate(Cycle now)
+{
+    (void)now;
+    const unsigned vcs = numVcs();
+    for (unsigned o = 0; o < numOutputs(); ++o) {
+        auto &out = outputs_[o];
+        // Collect requestors targeting this output.
+        std::vector<bool> requests(numInputs() * vcs, false);
+        bool any = false;
+        for (unsigned in = 0; in < numInputs(); ++in) {
+            for (unsigned vc = 0; vc < vcs; ++vc) {
+                if (inputs_[in].state(vc) == VcState::VC_ALLOC &&
+                    inputs_[in].outPort(vc) == o) {
+                    requests[in * vcs + vc] = true;
+                    any = true;
+                }
+            }
+        }
+        if (!any)
+            continue;
+        // Grant output VCs in round-robin requestor order until the
+        // eligible VCs run out.
+        while (true) {
+            const unsigned idx = out.vaArb.grant(requests);
+            if (idx >= requests.size())
+                break;
+            const unsigned in = idx / vcs;
+            const unsigned vc = idx % vcs;
+            const Packet &pkt = *inputs_[in].front(vc).pkt;
+            const unsigned base = params_.vcMap.baseVc(pkt);
+            unsigned granted = vcs;
+            for (unsigned l = 0; l < params_.vcMap.vcsPerClass; ++l) {
+                const unsigned cand = base + l;
+                if (!out.vcs[cand].owned) {
+                    granted = cand;
+                    break;
+                }
+            }
+            requests[idx] = false;
+            if (granted == vcs) {
+                // No eligible VC free; the requestor retries next
+                // cycle.  Other requestors may still want different
+                // (protocol/routing class) VCs.
+                continue;
+            }
+            out.vcs[granted].owned = true;
+            out.vcs[granted].ownerIn = in;
+            out.vcs[granted].ownerVc = vc;
+            inputs_[in].setOutVc(vc, granted);
+            inputs_[in].setState(vc, VcState::ACTIVE);
+            out.vaArb.accept(idx);
+        }
+    }
+}
+
+void
+Router::switchAllocate(Cycle now)
+{
+    const unsigned vcs = numVcs();
+    // Input stage: each input port nominates one ready VC.
+    std::vector<unsigned> nominee(numInputs(), vcs);
+    for (unsigned in = 0; in < numInputs(); ++in) {
+        std::vector<bool> requests(vcs, false);
+        bool any = false;
+        for (unsigned vc = 0; vc < vcs; ++vc) {
+            auto &port = inputs_[in];
+            if (port.state(vc) != VcState::ACTIVE || port.empty(vc))
+                continue;
+            const Flit &f = port.front(vc);
+            // A flit spends `pipelineDepth` cycles in the router (it
+            // departs no earlier than arrival + depth), giving the
+            // paper's 5-cycle hops for 4-stage routers + 1-cycle
+            // channels (Sec. III-B).
+            if (f.enqueueCycle + params_.pipelineDepth > now)
+                continue; // still in the router pipeline
+            const unsigned o = port.outPort(vc);
+            if (isEjection(o)) {
+                tenoc_assert(sink_, "no ejection sink attached");
+                if (!sink_->ejectReady(o - NUM_DIRS))
+                    continue;
+            } else {
+                if (outputs_[o].vcs[port.outVc(vc)].credits == 0)
+                    continue;
+            }
+            requests[vc] = true;
+            any = true;
+        }
+        if (!any)
+            continue;
+        if (params_.agePriority) {
+            Cycle best = INVALID_CYCLE;
+            for (unsigned vc = 0; vc < vcs; ++vc) {
+                if (!requests[vc])
+                    continue;
+                const Cycle age = packetAge(inputs_[in].front(vc));
+                if (nominee[in] == vcs || age < best) {
+                    best = age;
+                    nominee[in] = vc;
+                }
+            }
+        } else {
+            nominee[in] = sa_input_arb_[in].grant(requests);
+        }
+    }
+
+    // Output stage: one winner per output port.
+    for (unsigned o = 0; o < numOutputs(); ++o) {
+        std::vector<bool> requests(numInputs(), false);
+        bool any = false;
+        for (unsigned in = 0; in < numInputs(); ++in) {
+            if (nominee[in] < vcs &&
+                inputs_[in].outPort(nominee[in]) == o) {
+                requests[in] = true;
+                any = true;
+            }
+        }
+        if (!any)
+            continue;
+        unsigned in = numInputs();
+        if (params_.agePriority) {
+            Cycle best = INVALID_CYCLE;
+            for (unsigned cand = 0; cand < numInputs(); ++cand) {
+                if (!requests[cand])
+                    continue;
+                const Cycle age =
+                    packetAge(inputs_[cand].front(nominee[cand]));
+                if (in == numInputs() || age < best) {
+                    best = age;
+                    in = cand;
+                }
+            }
+        } else {
+            in = outputs_[o].saArb.grant(requests);
+        }
+        if (in >= numInputs())
+            continue;
+        const unsigned vc = nominee[in];
+
+        // Switch traversal.
+        Flit flit = inputs_[in].pop(vc);
+        const unsigned out_vc = inputs_[in].outVc(vc);
+        const bool tail = flit.tail;
+        if (!isInjection(in) && in_links_[in].creditOut)
+            in_links_[in].creditOut->send(Credit{flit.vc}, now);
+        flit.vc = out_vc;
+        if (isEjection(o)) {
+            sink_->ejectFlit(o - NUM_DIRS, std::move(flit), now);
+        } else {
+            auto &ovc = outputs_[o].vcs[out_vc];
+            tenoc_assert(ovc.credits > 0, "SA granted without credit");
+            --ovc.credits;
+            outputs_[o].flitOut->send(std::move(flit), now);
+        }
+        if (tail) {
+            outputs_[o].vcs[out_vc].owned = false;
+            inputs_[in].setState(vc, VcState::IDLE);
+        }
+        ++flits_traversed_;
+        sa_input_arb_[in].accept(vc);
+        outputs_[o].saArb.accept(in);
+    }
+}
+
+bool
+Router::empty() const
+{
+    for (const auto &p : inputs_)
+        if (p.totalOccupancy() != 0)
+            return false;
+    return true;
+}
+
+std::uint64_t
+Router::bufferedFlits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : inputs_)
+        n += p.totalOccupancy();
+    return n;
+}
+
+} // namespace tenoc

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Virtual-channel wormhole router.
+ *
+ * Canonical input-queued VC router with credit-based flow control and
+ * separable (iSLIP-style) allocation, per Table III of the paper:
+ *
+ *   - per-packet route computation (RC) at the head flit,
+ *   - VC allocation (VA): output-side round-robin among waiting heads,
+ *   - switch allocation (SA): input-first round-robin, then
+ *     output-side round-robin,
+ *   - switch traversal (ST): one flit per input and per output per
+ *     cycle, credits decremented on departure and returned upstream
+ *     when flits leave this router's input buffers.
+ *
+ * Pipeline depth is modeled as a minimum residency: a flit arriving at
+ * cycle t departs no earlier than t + depth, so arrival-to-arrival hop
+ * latency is depth + channelLatency (5 cycles for the baseline).  The
+ * baseline full router uses depth 4, half-routers depth 3 (Sec. V-A),
+ * the aggressive router of Sec. III-C depth 1.
+ *
+ * Half-routers (Fig. 13) restrict connectivity: through traffic may
+ * only continue straight (E<->W, N<->S), while injection reaches all
+ * outputs and all inputs reach ejection.
+ *
+ * Multi-port MC routers (Sec. IV-D, Fig. 15(b)) add extra injection
+ * and/or ejection ports that raise terminal bandwidth without touching
+ * link bandwidth.  Ejection-port choice is round-robin at RC time.
+ */
+
+#ifndef TENOC_NOC_ROUTER_HH
+#define TENOC_NOC_ROUTER_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "noc/arbiter.hh"
+#include "noc/buffer.hh"
+#include "noc/channel.hh"
+#include "noc/routing.hh"
+#include "noc/topology.hh"
+#include "noc/vc_map.hh"
+
+namespace tenoc
+{
+
+/** Destination of ejected flits (implemented by NetworkInterface). */
+class EjectionSink
+{
+  public:
+    virtual ~EjectionSink() = default;
+    /** @return true if one more flit fits in ejection buffer `port`. */
+    virtual bool ejectReady(unsigned ej_port) const = 0;
+    /** Delivers a flit to ejection buffer `port`. */
+    virtual void ejectFlit(unsigned ej_port, Flit &&flit, Cycle now) = 0;
+};
+
+/** One mesh router. */
+class Router
+{
+  public:
+    struct Params
+    {
+        VcMap vcMap;
+        unsigned vcDepth = 8;          ///< flit slots per VC (Table III)
+        unsigned pipelineDepth = 4;    ///< min cycles of residency
+        bool half = false;             ///< half-router connectivity
+        unsigned numInjPorts = 1;
+        unsigned numEjPorts = 1;
+        /**
+         * Age-based switch allocation: grant the contender whose
+         * packet entered the network earliest instead of round-robin.
+         * A global-fairness mechanism in the spirit of the work the
+         * paper cites for WP's slowdown (Sec. V-B / [29]); off by
+         * default (Table III uses iSLIP).
+         */
+        bool agePriority = false;
+    };
+
+    Router(NodeId id, const Topology &topo, RoutingAlgorithm &routing,
+           const Params &params);
+
+    NodeId id() const { return id_; }
+    const Params &params() const { return params_; }
+    unsigned numVcs() const { return params_.vcMap.numVcs(); }
+    unsigned numInputs() const { return NUM_DIRS + params_.numInjPorts; }
+    unsigned numOutputs() const { return NUM_DIRS + params_.numEjPorts; }
+
+    /** Wires the output in direction `d` and its returning credits. */
+    void connectOutput(Direction d, Channel<Flit> *flit_out,
+                       Channel<Credit> *credit_in);
+    /** Wires the input in direction `d` and its outgoing credits. */
+    void connectInput(Direction d, Channel<Flit> *flit_in,
+                      Channel<Credit> *credit_out);
+    /** Attaches the local NI as the ejection sink. */
+    void setEjectionSink(EjectionSink *sink) { sink_ = sink; }
+
+    // --- NI injection access (same node, zero-latency handshake) ---
+    /** Free slots in injection-port buffer `inj` (0-based), VC `vc`. */
+    unsigned injFreeSlots(unsigned inj, unsigned vc) const;
+    /** Pushes a flit into injection-port buffer `inj`. */
+    void injectFlit(unsigned inj, Flit &&flit, Cycle now);
+
+    // --- simulation phases (network drives these each icnt cycle) ---
+    /** Phase 1: drain arriving flits and credits from channels. */
+    void readInputs(Cycle now);
+    /** Phase 2: RC, VA, SA, ST. */
+    void compute(Cycle now);
+
+    /** @return true if no flits are buffered here. */
+    bool empty() const;
+
+    /** @return true if input `in` may be switched to output `out`. */
+    bool connectivityAllows(unsigned in, unsigned out) const;
+
+    // --- stats ---
+    std::uint64_t flitsTraversed() const { return flits_traversed_; }
+    std::uint64_t bufferedFlits() const;
+
+  private:
+    void routeCompute(Cycle now);
+    void vcAllocate(Cycle now);
+    void switchAllocate(Cycle now);
+
+    bool isInjection(unsigned in) const { return in >= NUM_DIRS; }
+    bool isEjection(unsigned out) const { return out >= NUM_DIRS; }
+
+    /** Chooses an ejection output port round-robin. */
+    unsigned nextEjectionPort();
+
+    /** Network entry time of a flit's packet (for age priority). */
+    static Cycle packetAge(const Flit &f);
+
+    NodeId id_;
+    const Topology &topo_;
+    RoutingAlgorithm &routing_;
+    Params params_;
+    EjectionSink *sink_ = nullptr;
+
+    std::vector<InputPort> inputs_;
+
+    struct OutputVcState
+    {
+        bool owned = false;
+        unsigned ownerIn = 0;
+        unsigned ownerVc = 0;
+        unsigned credits = 0;
+    };
+    struct OutputPort
+    {
+        Channel<Flit> *flitOut = nullptr;   ///< null for ejection ports
+        Channel<Credit> *creditIn = nullptr;
+        std::vector<OutputVcState> vcs;
+        RoundRobinArbiter vaArb;  ///< VC-allocation arbiter
+        RoundRobinArbiter saArb;  ///< switch output arbiter
+    };
+    std::vector<OutputPort> outputs_;
+
+    struct InputLink
+    {
+        Channel<Flit> *flitIn = nullptr;
+        Channel<Credit> *creditOut = nullptr;
+    };
+    std::vector<InputLink> in_links_;
+
+    std::vector<RoundRobinArbiter> sa_input_arb_; ///< per input port
+    unsigned ej_rr_ = 0;
+
+    std::uint64_t flits_traversed_ = 0;
+};
+
+} // namespace tenoc
+
+#endif // TENOC_NOC_ROUTER_HH

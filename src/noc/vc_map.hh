@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Virtual-channel organization.
+ *
+ * VCs are partitioned first by protocol class (request vs reply, for
+ * protocol-deadlock avoidance on a shared physical network), then by
+ * routing class (XY vs YX legs under checkerboard routing), then into
+ * `vcsPerClass` interchangeable lanes:
+ *
+ *   vc = ((protoClass * routeClasses) + routeClass) * vcsPerClass + lane
+ *
+ * Examples from the paper:
+ *  - baseline single net, DOR:        2 proto x 1 route x 1 = 2 VCs
+ *  - CP DOR 4VC (Fig. 17):            2 proto x 1 route x 2 = 4 VCs
+ *  - CP CR 4VC (Fig. 17):             2 proto x 2 route x 1 = 4 VCs
+ *  - dedicated double network w/ CR:  1 proto x 2 route x 1 = 2 VCs
+ */
+
+#ifndef TENOC_NOC_VC_MAP_HH
+#define TENOC_NOC_VC_MAP_HH
+
+#include "common/log.hh"
+#include "noc/flit.hh"
+
+namespace tenoc
+{
+
+/** Mapping between (protocol, routing) classes and VC indices. */
+struct VcMap
+{
+    unsigned protoClasses = 2;
+    unsigned routeClasses = 1;
+    unsigned vcsPerClass = 1;
+
+    unsigned numVcs() const
+    {
+        return protoClasses * routeClasses * vcsPerClass;
+    }
+
+    /** First VC index eligible for a packet in its current leg. */
+    unsigned
+    baseVc(const Packet &pkt) const
+    {
+        const unsigned proto =
+            static_cast<unsigned>(pkt.protoClass) % protoClasses;
+        const unsigned route =
+            static_cast<unsigned>(pkt.routeClass()) % routeClasses;
+        return (proto * routeClasses + route) * vcsPerClass;
+    }
+};
+
+} // namespace tenoc
+
+#endif // TENOC_NOC_VC_MAP_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the round-robin arbiter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "noc/arbiter.hh"
+
+namespace tenoc
+{
+namespace
+{
+
+TEST(Arbiter, NoRequestsNoGrant)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.grant({false, false, false, false}), 4u);
+}
+
+TEST(Arbiter, SingleRequestWins)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.grant({false, false, true, false}), 2u);
+}
+
+TEST(Arbiter, RotatesAfterAccept)
+{
+    RoundRobinArbiter arb(3);
+    const std::vector<bool> all{true, true, true};
+    unsigned w = arb.grant(all);
+    EXPECT_EQ(w, 0u);
+    arb.accept(w);
+    w = arb.grant(all);
+    EXPECT_EQ(w, 1u);
+    arb.accept(w);
+    w = arb.grant(all);
+    EXPECT_EQ(w, 2u);
+    arb.accept(w);
+    w = arb.grant(all);
+    EXPECT_EQ(w, 0u);
+}
+
+TEST(Arbiter, PointerHoldsWithoutAccept)
+{
+    RoundRobinArbiter arb(3);
+    const std::vector<bool> all{true, true, true};
+    EXPECT_EQ(arb.grant(all), 0u);
+    EXPECT_EQ(arb.grant(all), 0u); // iSLIP: no accept, no rotation
+}
+
+TEST(Arbiter, FairUnderFullLoad)
+{
+    RoundRobinArbiter arb(4);
+    const std::vector<bool> all{true, true, true, true};
+    std::map<unsigned, int> wins;
+    for (int i = 0; i < 400; ++i) {
+        const unsigned w = arb.grant(all);
+        arb.accept(w);
+        ++wins[w];
+    }
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(wins[i], 100);
+}
+
+TEST(Arbiter, SkipsNonRequestors)
+{
+    RoundRobinArbiter arb(4);
+    arb.accept(0); // pointer at 1
+    EXPECT_EQ(arb.grant({true, false, false, true}), 3u);
+}
+
+TEST(Arbiter, ResizeResetsOutOfRangePointer)
+{
+    RoundRobinArbiter arb(4);
+    arb.accept(3); // pointer at 0
+    arb.accept(0); // pointer at 1
+    arb.resize(1);
+    EXPECT_EQ(arb.grant({true}), 0u);
+}
+
+} // namespace
+} // namespace tenoc

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the area model against the paper's published Table VI.
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/area_model.hh"
+
+namespace tenoc
+{
+namespace
+{
+
+RouterAreaParams
+baselineRouter()
+{
+    RouterAreaParams p; // 16B, 2 VCs x 8, full, 1 inj/ej
+    return p;
+}
+
+TEST(AreaModel, BaselineRouterMatchesTableVI)
+{
+    AreaModel m;
+    const auto b = m.routerArea(baselineRouter());
+    EXPECT_NEAR(b.crossbar, 1.73, 0.02);
+    EXPECT_NEAR(b.buffer, 0.17, 0.01);
+    EXPECT_NEAR(b.allocator, 0.004, 0.002);
+    EXPECT_NEAR(b.total, 1.916, 0.05);
+}
+
+TEST(AreaModel, DoubleBandwidthRouterQuadraticCrossbar)
+{
+    AreaModel m;
+    auto p = baselineRouter();
+    p.channelBytes = 32.0;
+    const auto b = m.routerArea(p);
+    EXPECT_NEAR(b.crossbar, 6.95, 0.05);  // 4x the 16B crossbar
+    EXPECT_NEAR(b.buffer, 0.34, 0.01);    // 2x storage
+    EXPECT_NEAR(b.total, 7.305, 0.12);
+}
+
+TEST(AreaModel, HalfRouterRoughlyHalfArea)
+{
+    // Sec. V-F: half-router occupies ~56% of a full router (4 VCs).
+    AreaModel m;
+    auto full = baselineRouter();
+    full.vcs = 4;
+    auto half = full;
+    half.half = true;
+    const auto fb = m.routerArea(full);
+    const auto hb = m.routerArea(half);
+    EXPECT_NEAR(hb.crossbar, 0.83, 0.02);
+    EXPECT_NEAR(fb.crossbar, 1.73, 0.02);
+    EXPECT_NEAR(hb.total / fb.total, 0.56, 0.03);
+    EXPECT_NEAR(fb.total, 2.10, 0.05);
+    EXPECT_NEAR(hb.total, 1.18, 0.05);
+}
+
+TEST(AreaModel, CrosspointCounts)
+{
+    RouterAreaParams p;
+    EXPECT_EQ(p.crosspoints(), 25u); // full 5x5
+    p.half = true;
+    EXPECT_EQ(p.crosspoints(), 12u); // Fig. 13 connectivity
+    p.injPorts = 2;
+    EXPECT_EQ(p.crosspoints(), 16u); // 2 injection ports
+    p.injPorts = 1;
+    p.ejPorts = 2;
+    EXPECT_EQ(p.crosspoints(), 16u);
+    p.half = false;
+    EXPECT_EQ(p.crosspoints(), 30u); // full with 2 ejection ports
+}
+
+TEST(AreaModel, LinkAreaAndCount)
+{
+    AreaModel m;
+    EXPECT_NEAR(m.linkArea(16.0), 0.175, 0.002);
+    EXPECT_NEAR(m.linkArea(32.0), 0.349, 0.004);
+    EXPECT_EQ(AreaModel::meshDirectedLinks(6, 6), 120u);
+    EXPECT_EQ(AreaModel::meshDirectedLinks(4, 4), 48u);
+}
+
+MeshAreaSpec
+baselineMesh()
+{
+    MeshAreaSpec s;
+    s.numMcs = 8;
+    return s;
+}
+
+TEST(AreaModel, BaselineMeshMatchesTableVI)
+{
+    AreaModel m;
+    const auto r = m.meshArea(baselineMesh());
+    EXPECT_NEAR(r.linkAreaSum, 21.015, 0.1);
+    EXPECT_NEAR(r.routerAreaSum, 69.0, 0.8);
+    EXPECT_NEAR(r.nocTotal() / AreaModel::kGtx280AreaMm2, 0.1563,
+                0.003);
+    EXPECT_NEAR(m.chipArea(r), 576.0, 1.0);
+}
+
+TEST(AreaModel, TwoXBandwidthMeshMatchesTableVI)
+{
+    AreaModel m;
+    auto s = baselineMesh();
+    s.channelBytes = 32.0;
+    const auto r = m.meshArea(s);
+    EXPECT_NEAR(r.routerAreaSum, 263.0, 3.0);
+    EXPECT_NEAR(r.linkAreaSum, 41.963, 0.3);
+    EXPECT_NEAR(m.chipArea(r), 790.9, 4.0);
+}
+
+TEST(AreaModel, CheckerboardMeshMatchesTableVI)
+{
+    AreaModel m;
+    auto s = baselineMesh();
+    s.vcs = 4;
+    s.checkerboard = true;
+    const auto r = m.meshArea(s);
+    EXPECT_NEAR(r.routerAreaSum, 59.2, 0.8);
+    EXPECT_NEAR(m.chipArea(r), 566.2, 1.5);
+}
+
+TEST(AreaModel, DoubleNetworkMatchesTableVI)
+{
+    // Table VI "Double CP-CR" with the paper's 2-VC slices.
+    AreaModel m;
+    auto s = baselineMesh();
+    s.subnetworks = 2;
+    s.channelBytes = 8.0;
+    s.vcs = 2;
+    s.checkerboard = true;
+    const auto r = m.meshArea(s);
+    EXPECT_NEAR(r.routerAreaSum, 29.74, 0.6);
+    EXPECT_NEAR(r.linkAreaSum, 21.015, 0.1);
+    EXPECT_NEAR(m.chipArea(r), 536.74, 1.5);
+}
+
+TEST(AreaModel, DoubleNetworkWithTwoInjectionPorts)
+{
+    // Table VI last row: +2 injection ports at the 8 MC routers adds
+    // ~0.7 mm^2 (only the reply slice grows).
+    AreaModel m;
+    auto s = baselineMesh();
+    s.subnetworks = 2;
+    s.channelBytes = 8.0;
+    s.vcs = 2;
+    s.checkerboard = true;
+    auto base = m.meshArea(s);
+    s.mcInjPorts = 2;
+    auto twop = m.meshArea(s);
+    EXPECT_NEAR(twop.routerAreaSum, 30.44, 0.7);
+    EXPECT_NEAR(twop.routerAreaSum - base.routerAreaSum, 0.70, 0.25);
+    EXPECT_NEAR(m.chipArea(twop), 537.44, 1.6);
+}
+
+TEST(AreaModel, ThroughputEffectiveness)
+{
+    EXPECT_DOUBLE_EQ(throughputEffectiveness(230.0, 576.0),
+                     230.0 / 576.0);
+    // The headline: +17% IPC and the double-network area give +25.4%
+    // IPC/mm^2 (Sec. V-F).
+    const double gain =
+        throughputEffectiveness(1.17, 537.44) /
+        throughputEffectiveness(1.0, 576.0);
+    EXPECT_NEAR(gain, 1.254, 0.01);
+}
+
+TEST(AreaModel, SlicedBuffersKeepStorageConstant)
+{
+    // Our simulated double network uses 4 VCs x 8 x 8B per slice: the
+    // same storage as the single network's 2 VCs x 8 x 16B.
+    AreaModel m;
+    auto single = baselineRouter();
+    auto slice = baselineRouter();
+    slice.vcs = 4;
+    slice.channelBytes = 8.0;
+    EXPECT_NEAR(m.routerArea(single).buffer,
+                m.routerArea(slice).buffer, 1e-9);
+}
+
+} // namespace
+} // namespace tenoc

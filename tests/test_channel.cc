@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit tests for the pipelined channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/channel.hh"
+
+namespace tenoc
+{
+namespace
+{
+
+TEST(Channel, DeliversAfterLatency)
+{
+    Channel<int> ch(3);
+    ch.send(42, 10);
+    EXPECT_FALSE(ch.receive(11).has_value());
+    EXPECT_FALSE(ch.receive(12).has_value());
+    auto v = ch.receive(13);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42);
+    EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, PreservesOrder)
+{
+    Channel<int> ch(1);
+    ch.send(1, 0);
+    ch.send(2, 1);
+    ch.send(3, 2);
+    EXPECT_EQ(ch.inFlight(), 3u);
+    EXPECT_EQ(*ch.receive(5), 1);
+    EXPECT_EQ(*ch.receive(5), 2);
+    EXPECT_EQ(*ch.receive(5), 3);
+    EXPECT_FALSE(ch.receive(5).has_value());
+}
+
+TEST(Channel, LateReceiverStillGetsItems)
+{
+    Channel<int> ch(1);
+    ch.send(9, 0);
+    EXPECT_EQ(*ch.receive(100), 9);
+}
+
+TEST(ChannelDeath, TwoSendsInOneCyclePanic)
+{
+    Channel<int> ch(1);
+    ch.send(1, 5);
+    EXPECT_DEATH(ch.send(2, 5), "one item per cycle");
+}
+
+TEST(ChannelDeath, SendInPastPanics)
+{
+    Channel<int> ch(1);
+    ch.send(1, 5);
+    EXPECT_DEATH(ch.send(2, 4), "one item per cycle");
+}
+
+} // namespace
+} // namespace tenoc

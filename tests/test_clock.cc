@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the multi-clock-domain scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/clock.hh"
+
+namespace tenoc
+{
+namespace
+{
+
+TEST(ClockDomain, PeriodFromFrequency)
+{
+    ClockDomain d("core", 1000.0); // 1 GHz -> 1000 ps
+    EXPECT_EQ(d.periodPs(), 1000u);
+    ClockDomain e("icnt", 602.0);
+    EXPECT_EQ(e.periodPs(), 1661u); // 1e6/602 = 1661.13
+}
+
+TEST(ClockDomainSet, SingleDomainTicksEveryAdvance)
+{
+    ClockDomainSet cs;
+    auto id = cs.addDomain("only", 500.0);
+    for (int i = 1; i <= 5; ++i) {
+        const auto &t = cs.advance();
+        EXPECT_TRUE(t[id]);
+        EXPECT_EQ(cs.domain(id).cycles(), static_cast<Cycle>(i));
+        EXPECT_EQ(cs.nowPs(), static_cast<Picoseconds>(2000 * i));
+    }
+}
+
+TEST(ClockDomainSet, TickRatioMatchesFrequencyRatio)
+{
+    // The paper's three domains (Table II).
+    ClockDomainSet cs;
+    auto core = cs.addDomain("core", 1296.0);
+    auto icnt = cs.addDomain("icnt", 602.0);
+    auto mem = cs.addDomain("mem", 1107.0);
+    for (int i = 0; i < 200000; ++i)
+        cs.advance();
+    const double core_c = static_cast<double>(cs.domain(core).cycles());
+    const double icnt_c = static_cast<double>(cs.domain(icnt).cycles());
+    const double mem_c = static_cast<double>(cs.domain(mem).cycles());
+    EXPECT_NEAR(core_c / icnt_c, 1296.0 / 602.0, 0.01);
+    EXPECT_NEAR(mem_c / icnt_c, 1107.0 / 602.0, 0.01);
+}
+
+TEST(ClockDomainSet, SimultaneousEdgesTickTogether)
+{
+    ClockDomainSet cs;
+    auto a = cs.addDomain("a", 1000.0); // 1000 ps
+    auto b = cs.addDomain("b", 500.0);  // 2000 ps
+    const auto &t1 = cs.advance(); // t=1000: only a
+    EXPECT_TRUE(t1[a]);
+    EXPECT_FALSE(t1[b]);
+    const auto &t2 = cs.advance(); // t=2000: both
+    EXPECT_TRUE(t2[a]);
+    EXPECT_TRUE(t2[b]);
+}
+
+TEST(ClockDomainSet, TimeIsMonotonic)
+{
+    ClockDomainSet cs;
+    cs.addDomain("a", 1296.0);
+    cs.addDomain("b", 1107.0);
+    Picoseconds prev = 0;
+    for (int i = 0; i < 10000; ++i) {
+        cs.advance();
+        EXPECT_GT(cs.nowPs(), prev);
+        prev = cs.nowPs();
+    }
+}
+
+TEST(ClockDomainSet, ResetRestartsEverything)
+{
+    ClockDomainSet cs;
+    auto a = cs.addDomain("a", 100.0);
+    cs.advance();
+    cs.advance();
+    cs.reset();
+    EXPECT_EQ(cs.nowPs(), 0u);
+    EXPECT_EQ(cs.domain(a).cycles(), 0u);
+    const auto &t = cs.advance();
+    EXPECT_TRUE(t[a]);
+    EXPECT_EQ(cs.domain(a).cycles(), 1u);
+}
+
+} // namespace
+} // namespace tenoc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the memory coalescing stage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/coalescer.hh"
+
+namespace tenoc
+{
+namespace
+{
+
+KernelProfile
+profile(double lines)
+{
+    KernelProfile p;
+    p.avgLinesPerMemInst = lines;
+    p.rowLocality = 1.0;
+    return p;
+}
+
+TEST(Coalescer, IntegerAvgIsExact)
+{
+    Coalescer c(32);
+    Rng rng(1);
+    const auto p = profile(3.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(c.linesForAccess(p, rng), 3u);
+}
+
+TEST(Coalescer, FractionalAvgMatchesMean)
+{
+    Coalescer c(32);
+    Rng rng(2);
+    const auto p = profile(2.3);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += c.linesForAccess(p, rng);
+    EXPECT_NEAR(sum / n, 2.3, 0.03);
+}
+
+TEST(Coalescer, ClampedToWarpSize)
+{
+    Coalescer c(32);
+    Rng rng(3);
+    const auto p = profile(40.0);
+    EXPECT_EQ(c.linesForAccess(p, rng), 32u);
+}
+
+TEST(Coalescer, FullyCoalescedSingleLine)
+{
+    Coalescer c(32);
+    Rng rng(4);
+    const auto p = profile(1.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(c.linesForAccess(p, rng), 1u);
+}
+
+TEST(Coalescer, CoalesceProducesAddressesFromStream)
+{
+    Coalescer c(32);
+    Rng rng(5);
+    auto p = profile(2.0);
+    AddressStream stream(0x1000, 0, 4, p, 64);
+    const auto lines = c.coalesce(p, stream, rng);
+    ASSERT_EQ(lines.size(), 2u);
+    // Warp 0 of 4: lines at base, base + 4*64, ...
+    EXPECT_EQ(lines[0], 0x1000u);
+    EXPECT_EQ(lines[1], 0x1000u + 256u);
+}
+
+} // namespace
+} // namespace tenoc

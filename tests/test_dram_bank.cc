@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the DRAM bank state machine against Table II timings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_bank.hh"
+
+namespace tenoc
+{
+namespace
+{
+
+Gddr3Timing
+timing()
+{
+    return Gddr3Timing{};
+}
+
+TEST(Gddr3Timing, TableIIDefaults)
+{
+    const auto t = timing();
+    EXPECT_EQ(t.tCL, 9u);
+    EXPECT_EQ(t.tRP, 13u);
+    EXPECT_EQ(t.tRC, 34u);
+    EXPECT_EQ(t.tRAS, 21u);
+    EXPECT_EQ(t.tRCD, 12u);
+    EXPECT_EQ(t.tRRD, 8u);
+    EXPECT_EQ(t.burstCycles(), 4u); // 64B over a DDR 8B bus
+}
+
+TEST(AddressMapping, BankAndRow)
+{
+    const auto t = timing();
+    // Row-interleaved across banks: consecutive 2KB blocks alternate.
+    auto c0 = mapAddress(t, 0);
+    auto c1 = mapAddress(t, 2048);
+    auto c8 = mapAddress(t, 2048ull * 8);
+    EXPECT_EQ(c0.bank, 0u);
+    EXPECT_EQ(c0.row, 0u);
+    EXPECT_EQ(c1.bank, 1u);
+    EXPECT_EQ(c1.row, 0u);
+    EXPECT_EQ(c8.bank, 0u);
+    EXPECT_EQ(c8.row, 1u);
+}
+
+TEST(AddressMapping, CompactionInvertsInterleaving)
+{
+    // Global addresses are low-order interleaved every 256 B across 8
+    // channels (Sec. II); channel-local addresses must be dense.
+    EXPECT_EQ(channelOf(0, 8, 256), 0u);
+    EXPECT_EQ(channelOf(256, 8, 256), 1u);
+    EXPECT_EQ(channelOf(256 * 8, 8, 256), 0u);
+    EXPECT_EQ(compactAddress(0, 8, 256), 0u);
+    EXPECT_EQ(compactAddress(256ull * 8, 8, 256), 256u);
+    EXPECT_EQ(compactAddress(256ull * 8 + 64, 8, 256), 256u + 64u);
+    EXPECT_EQ(compactAddress(256ull * 16, 8, 256), 512u);
+}
+
+TEST(DramBank, ActivateThenCasAfterTrcd)
+{
+    DramBank b(timing());
+    EXPECT_TRUE(b.canActivate(0));
+    b.activate(0, 5);
+    EXPECT_EQ(b.state(), DramBank::State::ACTIVE);
+    EXPECT_EQ(b.activeRow(), 5u);
+    EXPECT_FALSE(b.canCas(11, 5)); // tRCD = 12
+    EXPECT_TRUE(b.canCas(12, 5));
+    EXPECT_FALSE(b.canCas(12, 6)); // wrong row
+}
+
+TEST(DramBank, PrechargeRespectsTras)
+{
+    DramBank b(timing());
+    b.activate(0, 1);
+    EXPECT_FALSE(b.canPrecharge(20)); // tRAS = 21
+    EXPECT_TRUE(b.canPrecharge(21));
+    b.precharge(21);
+    EXPECT_EQ(b.state(), DramBank::State::IDLE);
+    EXPECT_FALSE(b.canActivate(33)); // tRP = 13 -> ready at 34
+    EXPECT_TRUE(b.canActivate(34));
+}
+
+TEST(DramBank, RowCycleTimeTrc)
+{
+    DramBank b(timing());
+    b.activate(0, 1);
+    b.precharge(21);
+    // tRP satisfied at 34, and tRC (34) also elapsed at 34.
+    EXPECT_TRUE(b.canActivate(34));
+    b.activate(34, 2);
+    b.precharge(55);
+    EXPECT_FALSE(b.canActivate(67)); // tRC from t=34 -> 68
+    EXPECT_TRUE(b.canActivate(68));
+}
+
+TEST(DramBank, CasDelaysPrecharge)
+{
+    DramBank b(timing());
+    b.activate(0, 1);
+    b.cas(12);
+    // Precharge must wait for tCL + burst after the CAS (data on bus).
+    EXPECT_FALSE(b.canPrecharge(21));
+    EXPECT_FALSE(b.canPrecharge(24));
+    EXPECT_TRUE(b.canPrecharge(25)); // 12 + 9 + 4
+}
+
+TEST(DramBank, BackToBackCasSpacedByBurst)
+{
+    DramBank b(timing());
+    b.activate(0, 1);
+    b.cas(12);
+    EXPECT_FALSE(b.canCas(15, 1)); // burst = 4
+    EXPECT_TRUE(b.canCas(16, 1));
+}
+
+TEST(DramBank, ActivationCountTracked)
+{
+    DramBank b(timing());
+    b.activate(0, 1);
+    b.precharge(21);
+    b.activate(40, 2);
+    EXPECT_EQ(b.activations(), 2u);
+}
+
+TEST(DramBankDeath, IllegalActivatePanics)
+{
+    DramBank b(timing());
+    b.activate(0, 1);
+    EXPECT_DEATH(b.activate(1, 2), "illegal ACTIVATE");
+}
+
+TEST(DramBankDeath, IllegalPrechargePanics)
+{
+    DramBank b(timing());
+    b.activate(0, 1);
+    EXPECT_DEATH(b.precharge(5), "illegal PRECHARGE");
+}
+
+} // namespace
+} // namespace tenoc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the synthetic address stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gpu/kernel_profile.hh"
+
+namespace tenoc
+{
+namespace
+{
+
+KernelProfile
+profile(double row_locality, std::uint64_t footprint = 1 << 20)
+{
+    KernelProfile p;
+    p.rowLocality = row_locality;
+    p.footprintBytes = footprint;
+    return p;
+}
+
+TEST(AddressStream, SequentialWhenFullyLocal)
+{
+    auto p = profile(1.0);
+    AddressStream s(0, 0, 32, p, 64);
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(s.next(rng), static_cast<Addr>(i) * 32 * 64);
+}
+
+TEST(AddressStream, WarpsInterleaveLikeCoalescedKernels)
+{
+    // Adjacent warps touch adjacent lines; advancing in lock step
+    // they cover a dense region (cross-warp DRAM row locality).
+    auto p = profile(1.0);
+    const unsigned warps = 4;
+    std::vector<AddressStream> streams;
+    for (unsigned w = 0; w < warps; ++w)
+        streams.emplace_back(0, w, warps, p, 64);
+    Rng rng(2);
+    std::set<Addr> seen;
+    for (int step = 0; step < 8; ++step)
+        for (auto &s : streams)
+            seen.insert(s.next(rng));
+    // 32 consecutive lines, no overlap between warps.
+    ASSERT_EQ(seen.size(), 32u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 31u * 64u);
+}
+
+TEST(AddressStream, JumpsScatterWithinFootprint)
+{
+    auto p = profile(0.0, 1 << 18);
+    AddressStream s(0x100000, 0, 32, p, 64);
+    Rng rng(3);
+    std::set<Addr> distinct;
+    for (int i = 0; i < 500; ++i) {
+        const Addr a = s.next(rng);
+        EXPECT_GE(a, 0x100000u);
+        EXPECT_LT(a, 0x100000u + (1u << 18));
+        distinct.insert(a / (32 * 64));
+    }
+    EXPECT_GT(distinct.size(), 50u); // well scattered
+}
+
+TEST(AddressStream, WrapsAtFootprintEnd)
+{
+    auto p = profile(1.0, 32 * 64 * 4); // 4 strides
+    AddressStream s(0, 0, 32, p, 64);
+    Rng rng(4);
+    std::set<Addr> seen;
+    for (int i = 0; i < 12; ++i)
+        seen.insert(s.next(rng));
+    EXPECT_EQ(seen.size(), 4u); // wrapped around
+}
+
+TEST(KernelProfile, TotalWarpInsts)
+{
+    KernelProfile p;
+    p.warpsPerCore = 32;
+    p.warpInstsPerWarp = 100;
+    EXPECT_EQ(p.totalWarpInsts(28), 28u * 32u * 100u);
+}
+
+} // namespace
+} // namespace tenoc

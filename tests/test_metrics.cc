@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for suite metrics and the paper's classification rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/metrics.hh"
+
+namespace tenoc
+{
+namespace
+{
+
+SuiteRun
+run(const char *abbr, double ipc, TrafficClass cls = TrafficClass::LL)
+{
+    SuiteRun r;
+    r.abbr = abbr;
+    r.cls = cls;
+    r.result.ipc = ipc;
+    return r;
+}
+
+TEST(Metrics, HarmonicMeanIpc)
+{
+    std::vector<SuiteRun> runs{run("A", 100.0), run("B", 50.0)};
+    EXPECT_NEAR(harmonicMeanIpc(runs), 2.0 / (0.01 + 0.02), 1e-9);
+}
+
+TEST(Metrics, SpeedupsPerBenchmark)
+{
+    std::vector<SuiteRun> base{run("A", 100.0), run("B", 50.0)};
+    std::vector<SuiteRun> test{run("A", 150.0), run("B", 50.0)};
+    const auto s = speedups(base, test);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s[0], 1.5);
+    EXPECT_DOUBLE_EQ(s[1], 1.0);
+    EXPECT_NEAR(harmonicMeanSpeedup(base, test), 2.0 / (1 / 1.5 + 1.0),
+                1e-9);
+}
+
+TEST(MetricsDeath, MismatchedSuitesPanic)
+{
+    std::vector<SuiteRun> base{run("A", 1.0)};
+    std::vector<SuiteRun> test{run("B", 1.0)};
+    EXPECT_DEATH(speedups(base, test), "order mismatch");
+}
+
+TEST(Metrics, ClassificationRule)
+{
+    // Sec. III-B: >30% perfect speedup = H first letter; >1 B/cyc/node
+    // = H second letter; no HL group exists.
+    EXPECT_EQ(classify(1.05, 0.3), TrafficClass::LL);
+    EXPECT_EQ(classify(1.10, 2.0), TrafficClass::LH);
+    EXPECT_EQ(classify(1.87, 5.0), TrafficClass::HH);
+    EXPECT_EQ(classify(1.50, 0.5), TrafficClass::HH);
+    EXPECT_EQ(classify(1.29, 1.01), TrafficClass::LH);
+    EXPECT_EQ(classify(1.31, 1.01), TrafficClass::HH);
+}
+
+TEST(Metrics, ClassFilteredMean)
+{
+    std::vector<SuiteRun> runs{
+        run("A", 100.0, TrafficClass::LL),
+        run("B", 10.0, TrafficClass::HH),
+        run("C", 30.0, TrafficClass::HH),
+    };
+    EXPECT_NEAR(harmonicMeanIpcOfClass(runs, TrafficClass::HH),
+                2.0 / (0.1 + 1.0 / 30.0), 1e-9);
+    EXPECT_DOUBLE_EQ(harmonicMeanIpcOfClass(runs, TrafficClass::LL),
+                     100.0);
+    EXPECT_DOUBLE_EQ(harmonicMeanIpcOfClass(runs, TrafficClass::LH),
+                     0.0);
+}
+
+} // namespace
+} // namespace tenoc

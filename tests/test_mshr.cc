@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the MSHR table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+
+namespace tenoc
+{
+namespace
+{
+
+TEST(Mshr, AllocateNewEntrySendsRequest)
+{
+    MshrTable m(4);
+    EXPECT_TRUE(m.allocate(0x100, 1));
+    EXPECT_TRUE(m.pending(0x100));
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.allocations(), 1u);
+}
+
+TEST(Mshr, MergeDoesNotSendRequest)
+{
+    MshrTable m(4);
+    EXPECT_TRUE(m.allocate(0x100, 1));
+    EXPECT_FALSE(m.allocate(0x100, 2));
+    EXPECT_FALSE(m.allocate(0x100, 3));
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.merges(), 2u);
+    EXPECT_EQ(m.waiters(0x100), 3u);
+}
+
+TEST(Mshr, ReleaseReturnsAllWaitersInOrder)
+{
+    MshrTable m(4);
+    m.allocate(0x40, 10);
+    m.allocate(0x40, 20);
+    const auto waiters = m.release(0x40);
+    ASSERT_EQ(waiters.size(), 2u);
+    EXPECT_EQ(waiters[0], 10u);
+    EXPECT_EQ(waiters[1], 20u);
+    EXPECT_FALSE(m.pending(0x40));
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Mshr, FullTableRefusesNewLines)
+{
+    MshrTable m(2);
+    m.allocate(0x0, 1);
+    m.allocate(0x40, 2);
+    EXPECT_TRUE(m.full());
+    EXPECT_FALSE(m.canAllocate(0x80));
+    EXPECT_TRUE(m.canAllocate(0x0)); // merge still allowed
+    m.release(0x0);
+    EXPECT_TRUE(m.canAllocate(0x80));
+}
+
+TEST(Mshr, MergeLimitEnforced)
+{
+    MshrTable m(4, 2);
+    m.allocate(0x0, 1);
+    m.allocate(0x0, 2);
+    EXPECT_FALSE(m.canAllocate(0x0));
+}
+
+TEST(Mshr, CapacityMatchesTableII)
+{
+    MshrTable m(64); // 64 MSHRs per core
+    for (Addr i = 0; i < 64; ++i)
+        EXPECT_TRUE(m.allocate(i * 64, i));
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.capacity(), 64u);
+}
+
+TEST(MshrDeath, ReleaseUnknownLinePanics)
+{
+    MshrTable m(4);
+    EXPECT_DEATH(m.release(0xdead), "unknown MSHR line");
+}
+
+TEST(MshrDeath, OverflowPanics)
+{
+    MshrTable m(1);
+    m.allocate(0x0, 1);
+    EXPECT_DEATH(m.allocate(0x40, 2), "overflow");
+}
+
+} // namespace
+} // namespace tenoc

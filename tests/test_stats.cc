@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace tenoc
+{
+namespace
+{
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c("events");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, TracksMeanMinMax)
+{
+    Accumulator a("lat");
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(10.0);
+    a.sample(20.0);
+    a.sample(-6.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 8.0);
+    EXPECT_DOUBLE_EQ(a.min(), -6.0);
+    EXPECT_DOUBLE_EQ(a.max(), 20.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Histogram, BucketsAndMean)
+{
+    Histogram h("lat", 0.0, 100.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(5.0 + 10.0 * i);
+    EXPECT_EQ(h.count(), 10u);
+    for (auto b : h.buckets())
+        EXPECT_EQ(b, 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.0);
+}
+
+TEST(Histogram, OutOfRangeSaturates)
+{
+    Histogram h("x", 0.0, 10.0, 2);
+    h.sample(-5.0);
+    h.sample(100.0);
+    EXPECT_EQ(h.buckets().front(), 1u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h("x", 0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 2.0);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h("x", 0.0, 10.0, 10);
+    h.sample(1.0, 5);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1.0);
+}
+
+TEST(Means, Harmonic)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0, 4.0}), 3.0 / 1.75, 1e-12);
+    // Any non-positive value makes the HM undefined here.
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 0.0}), 0.0);
+}
+
+TEST(Means, Arithmetic)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({2.0, 4.0}), 3.0);
+}
+
+TEST(Means, Geometric)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geometricMean({1.0, -1.0}), 0.0);
+}
+
+TEST(Means, HarmonicDominatedBySmallValues)
+{
+    const double hm = harmonicMean({1.0, 100.0, 100.0});
+    EXPECT_LT(hm, 3.0);
+}
+
+TEST(StatGroup, DumpsAllStats)
+{
+    Counter c("hits");
+    c.inc(7);
+    Accumulator a("lat");
+    a.sample(2.0);
+    StatGroup child("l1");
+    child.add(&c);
+    StatGroup root("core0");
+    root.addChild(&child);
+    root.add(&a);
+
+    std::ostringstream os;
+    root.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("core0.lat.mean 2"), std::string::npos);
+    EXPECT_NE(out.find("core0.l1.hits 7"), std::string::npos);
+}
+
+} // namespace
+} // namespace tenoc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for the VC organization used by the paper's configs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/vc_map.hh"
+
+namespace tenoc
+{
+namespace
+{
+
+Packet
+packet(int proto, RouteMode mode, bool phase2 = false)
+{
+    Packet p;
+    p.protoClass = proto;
+    p.mode = mode;
+    p.phase2 = phase2;
+    return p;
+}
+
+TEST(VcMap, BaselineTwoVcs)
+{
+    // Table III: 2 VCs = request + reply, DOR.
+    VcMap m{2, 1, 1};
+    EXPECT_EQ(m.numVcs(), 2u);
+    EXPECT_EQ(m.baseVc(packet(0, RouteMode::XY)), 0u);
+    EXPECT_EQ(m.baseVc(packet(1, RouteMode::XY)), 1u);
+}
+
+TEST(VcMap, CpDor4Vc)
+{
+    // Fig. 17: DOR with 4 VCs = 2 protocol x 2 lanes.
+    VcMap m{2, 1, 2};
+    EXPECT_EQ(m.numVcs(), 4u);
+    EXPECT_EQ(m.baseVc(packet(0, RouteMode::XY)), 0u);
+    EXPECT_EQ(m.baseVc(packet(1, RouteMode::XY)), 2u);
+}
+
+TEST(VcMap, CpCr4Vc)
+{
+    // Fig. 17: CR with 4 VCs = 2 protocol x 2 routing classes.
+    VcMap m{2, 2, 1};
+    EXPECT_EQ(m.numVcs(), 4u);
+    EXPECT_EQ(m.baseVc(packet(0, RouteMode::XY)), 0u);
+    EXPECT_EQ(m.baseVc(packet(0, RouteMode::YX)), 1u);
+    EXPECT_EQ(m.baseVc(packet(1, RouteMode::XY)), 2u);
+    EXPECT_EQ(m.baseVc(packet(1, RouteMode::YX)), 3u);
+}
+
+TEST(VcMap, TwoPhaseSwitchesClassAtWaypoint)
+{
+    VcMap m{1, 2, 1};
+    EXPECT_EQ(m.baseVc(packet(0, RouteMode::TWO_PHASE, false)), 1u);
+    EXPECT_EQ(m.baseVc(packet(0, RouteMode::TWO_PHASE, true)), 0u);
+}
+
+TEST(VcMap, DedicatedSliceCollapsesProtocol)
+{
+    // A dedicated double-network slice has one protocol class; reply
+    // packets (protoClass 1) wrap onto class 0.
+    VcMap m{1, 2, 2};
+    EXPECT_EQ(m.numVcs(), 4u);
+    EXPECT_EQ(m.baseVc(packet(1, RouteMode::XY)), 0u);
+    EXPECT_EQ(m.baseVc(packet(1, RouteMode::YX)), 2u);
+}
+
+} // namespace
+} // namespace tenoc

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the Table I synthetic benchmark suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gpu/workloads.hh"
+
+namespace tenoc
+{
+namespace
+{
+
+TEST(Workloads, ThirtyOneBenchmarks)
+{
+    EXPECT_EQ(workloadSuite().size(), 31u);
+}
+
+TEST(Workloads, ClassCountsMatchFig7Grouping)
+{
+    unsigned ll = 0;
+    unsigned lh = 0;
+    unsigned hh = 0;
+    for (const auto &p : workloadSuite()) {
+        switch (p.expectedClass) {
+          case TrafficClass::LL: ++ll; break;
+          case TrafficClass::LH: ++lh; break;
+          case TrafficClass::HH: ++hh; break;
+        }
+    }
+    EXPECT_EQ(ll, 11u);
+    EXPECT_EQ(lh, 11u);
+    EXPECT_EQ(hh, 9u);
+}
+
+TEST(Workloads, UniqueAbbreviations)
+{
+    std::set<std::string> abbrs;
+    for (const auto &p : workloadSuite())
+        abbrs.insert(p.abbr);
+    EXPECT_EQ(abbrs.size(), 31u);
+}
+
+TEST(Workloads, AllParametersInValidRanges)
+{
+    for (const auto &p : workloadSuite()) {
+        EXPECT_GE(p.warpsPerCore, 1u) << p.abbr;
+        EXPECT_LE(p.warpsPerCore, 32u) << p.abbr;
+        EXPECT_GT(p.warpInstsPerWarp, 0u) << p.abbr;
+        EXPECT_GT(p.memFraction, 0.0) << p.abbr;
+        EXPECT_LT(p.memFraction, 1.0) << p.abbr;
+        EXPECT_GE(p.loadFraction, 0.0) << p.abbr;
+        EXPECT_LE(p.loadFraction, 1.0) << p.abbr;
+        EXPECT_GE(p.avgLinesPerMemInst, 1.0) << p.abbr;
+        EXPECT_LE(p.avgLinesPerMemInst, 32.0) << p.abbr;
+        EXPECT_GE(p.l1HitRate, 0.0) << p.abbr;
+        EXPECT_LE(p.l1HitRate, 1.0) << p.abbr;
+        EXPECT_GE(p.l2HitRate, 0.0) << p.abbr;
+        EXPECT_LE(p.l2HitRate, 1.0) << p.abbr;
+        EXPECT_GE(p.rowLocality, 0.0) << p.abbr;
+        EXPECT_LE(p.rowLocality, 1.0) << p.abbr;
+        EXPECT_GE(p.maxPendingLines, 1u) << p.abbr;
+    }
+}
+
+TEST(Workloads, TrafficIntensityOrderedByClass)
+{
+    // lambda = m * lines * (1 - l1): LL << LH < HH on average.
+    auto lambda = [](const KernelProfile &p) {
+        return p.memFraction * p.avgLinesPerMemInst *
+            (1.0 - p.l1HitRate);
+    };
+    double ll_max = 0.0;
+    double hh_min = 1e9;
+    for (const auto &p : workloadSuite()) {
+        if (p.expectedClass == TrafficClass::LL)
+            ll_max = std::max(ll_max, lambda(p));
+        if (p.expectedClass == TrafficClass::HH)
+            hh_min = std::min(hh_min, lambda(p));
+    }
+    EXPECT_LT(ll_max, 0.03);
+    EXPECT_GT(hh_min, 0.1);
+}
+
+TEST(Workloads, FindByAbbreviation)
+{
+    EXPECT_EQ(findWorkload("BFS").name, "BFS Graph Traversal");
+    EXPECT_EQ(findWorkload("AES").expectedClass, TrafficClass::LL);
+    EXPECT_EQ(findWorkload("MUM").expectedClass, TrafficClass::HH);
+}
+
+TEST(WorkloadsDeath, UnknownAbbreviationIsFatal)
+{
+    EXPECT_EXIT(findWorkload("NOPE"), ::testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+TEST(Workloads, ScaleAdjustsKernelLength)
+{
+    const auto &bfs = findWorkload("BFS");
+    const auto half = scaleWorkload(bfs, 0.5);
+    EXPECT_EQ(half.warpInstsPerWarp, bfs.warpInstsPerWarp / 2);
+    EXPECT_EQ(half.memFraction, bfs.memFraction);
+    const auto tiny = scaleWorkload(bfs, 1e-9);
+    EXPECT_EQ(tiny.warpInstsPerWarp, 1u); // floors at one instruction
+}
+
+TEST(Workloads, MeanWritebackNearPaperRatio)
+{
+    // Sec. III-D: MC injection is 6.9x a core's, implying writes are
+    // roughly 0.39x reads on average across the suite.
+    double sum = 0.0;
+    for (const auto &p : workloadSuite())
+        sum += p.writebackRate;
+    const double mean = sum / workloadSuite().size();
+    EXPECT_GT(mean, 0.25);
+    EXPECT_LT(mean, 0.50);
+}
+
+} // namespace
+} // namespace tenoc
