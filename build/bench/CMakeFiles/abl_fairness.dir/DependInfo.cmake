@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_fairness.cc" "bench/CMakeFiles/abl_fairness.dir/abl_fairness.cc.o" "gcc" "bench/CMakeFiles/abl_fairness.dir/abl_fairness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tenoc_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

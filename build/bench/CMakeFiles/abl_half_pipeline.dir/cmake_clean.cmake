@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_half_pipeline.dir/abl_half_pipeline.cc.o"
+  "CMakeFiles/abl_half_pipeline.dir/abl_half_pipeline.cc.o.d"
+  "abl_half_pipeline"
+  "abl_half_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_half_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_interleave.dir/abl_interleave.cc.o"
+  "CMakeFiles/abl_interleave.dir/abl_interleave.cc.o.d"
+  "abl_interleave"
+  "abl_interleave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_routing_algos.dir/abl_routing_algos.cc.o"
+  "CMakeFiles/abl_routing_algos.dir/abl_routing_algos.cc.o.d"
+  "abl_routing_algos"
+  "abl_routing_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_routing_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

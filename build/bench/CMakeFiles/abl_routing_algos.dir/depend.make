@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_routing_algos.
+# This may be replaced when dependencies are built.

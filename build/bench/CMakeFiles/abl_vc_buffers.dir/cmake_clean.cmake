@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vc_buffers.dir/abl_vc_buffers.cc.o"
+  "CMakeFiles/abl_vc_buffers.dir/abl_vc_buffers.cc.o.d"
+  "abl_vc_buffers"
+  "abl_vc_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vc_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_matrix.dir/calibration_matrix.cc.o"
+  "CMakeFiles/calibration_matrix.dir/calibration_matrix.cc.o.d"
+  "calibration_matrix"
+  "calibration_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

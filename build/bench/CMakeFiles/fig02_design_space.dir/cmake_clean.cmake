@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_design_space.dir/fig02_design_space.cc.o"
+  "CMakeFiles/fig02_design_space.dir/fig02_design_space.cc.o.d"
+  "fig02_design_space"
+  "fig02_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_limit_study.dir/fig06_limit_study.cc.o"
+  "CMakeFiles/fig06_limit_study.dir/fig06_limit_study.cc.o.d"
+  "fig06_limit_study"
+  "fig06_limit_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_limit_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_perfect_noc.dir/fig07_perfect_noc.cc.o"
+  "CMakeFiles/fig07_perfect_noc.dir/fig07_perfect_noc.cc.o.d"
+  "fig07_perfect_noc"
+  "fig07_perfect_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_perfect_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mc_stall.dir/fig11_mc_stall.cc.o"
+  "CMakeFiles/fig11_mc_stall.dir/fig11_mc_stall.cc.o.d"
+  "fig11_mc_stall"
+  "fig11_mc_stall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mc_stall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

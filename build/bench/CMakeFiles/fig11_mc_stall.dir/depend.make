@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_mc_stall.
+# This may be replaced when dependencies are built.

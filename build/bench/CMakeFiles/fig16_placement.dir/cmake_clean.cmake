@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_placement.dir/fig16_placement.cc.o"
+  "CMakeFiles/fig16_placement.dir/fig16_placement.cc.o.d"
+  "fig16_placement"
+  "fig16_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_routing.dir/fig17_routing.cc.o"
+  "CMakeFiles/fig17_routing.dir/fig17_routing.cc.o.d"
+  "fig17_routing"
+  "fig17_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

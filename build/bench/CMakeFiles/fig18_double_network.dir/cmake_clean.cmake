@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_double_network.dir/fig18_double_network.cc.o"
+  "CMakeFiles/fig18_double_network.dir/fig18_double_network.cc.o.d"
+  "fig18_double_network"
+  "fig18_double_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_double_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_multiport.dir/fig19_multiport.cc.o"
+  "CMakeFiles/fig19_multiport.dir/fig19_multiport.cc.o.d"
+  "fig19_multiport"
+  "fig19_multiport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_multiport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_combined.dir/fig20_combined.cc.o"
+  "CMakeFiles/fig20_combined.dir/fig20_combined.cc.o.d"
+  "fig20_combined"
+  "fig20_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

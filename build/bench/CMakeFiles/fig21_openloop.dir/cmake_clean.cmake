@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_openloop.dir/fig21_openloop.cc.o"
+  "CMakeFiles/fig21_openloop.dir/fig21_openloop.cc.o.d"
+  "fig21_openloop"
+  "fig21_openloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_openloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_area.dir/tab06_area.cc.o"
+  "CMakeFiles/tab06_area.dir/tab06_area.cc.o.d"
+  "tab06_area"
+  "tab06_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

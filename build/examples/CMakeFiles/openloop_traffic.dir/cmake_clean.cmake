@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openloop_traffic.dir/openloop_traffic.cpp.o"
+  "CMakeFiles/openloop_traffic.dir/openloop_traffic.cpp.o.d"
+  "openloop_traffic"
+  "openloop_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openloop_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenoc_sim.dir/tenoc_sim.cpp.o"
+  "CMakeFiles/tenoc_sim.dir/tenoc_sim.cpp.o.d"
+  "tenoc_sim"
+  "tenoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

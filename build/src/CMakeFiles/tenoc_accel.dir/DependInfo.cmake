@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/chip.cc" "src/CMakeFiles/tenoc_accel.dir/accel/chip.cc.o" "gcc" "src/CMakeFiles/tenoc_accel.dir/accel/chip.cc.o.d"
+  "/root/repo/src/accel/chip_config.cc" "src/CMakeFiles/tenoc_accel.dir/accel/chip_config.cc.o" "gcc" "src/CMakeFiles/tenoc_accel.dir/accel/chip_config.cc.o.d"
+  "/root/repo/src/accel/experiments.cc" "src/CMakeFiles/tenoc_accel.dir/accel/experiments.cc.o" "gcc" "src/CMakeFiles/tenoc_accel.dir/accel/experiments.cc.o.d"
+  "/root/repo/src/accel/mc_node.cc" "src/CMakeFiles/tenoc_accel.dir/accel/mc_node.cc.o" "gcc" "src/CMakeFiles/tenoc_accel.dir/accel/mc_node.cc.o.d"
+  "/root/repo/src/accel/metrics.cc" "src/CMakeFiles/tenoc_accel.dir/accel/metrics.cc.o" "gcc" "src/CMakeFiles/tenoc_accel.dir/accel/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tenoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_area.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

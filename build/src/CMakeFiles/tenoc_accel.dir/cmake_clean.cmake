@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenoc_accel.dir/accel/chip.cc.o"
+  "CMakeFiles/tenoc_accel.dir/accel/chip.cc.o.d"
+  "CMakeFiles/tenoc_accel.dir/accel/chip_config.cc.o"
+  "CMakeFiles/tenoc_accel.dir/accel/chip_config.cc.o.d"
+  "CMakeFiles/tenoc_accel.dir/accel/experiments.cc.o"
+  "CMakeFiles/tenoc_accel.dir/accel/experiments.cc.o.d"
+  "CMakeFiles/tenoc_accel.dir/accel/mc_node.cc.o"
+  "CMakeFiles/tenoc_accel.dir/accel/mc_node.cc.o.d"
+  "CMakeFiles/tenoc_accel.dir/accel/metrics.cc.o"
+  "CMakeFiles/tenoc_accel.dir/accel/metrics.cc.o.d"
+  "libtenoc_accel.a"
+  "libtenoc_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenoc_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenoc_area.dir/area/area_model.cc.o"
+  "CMakeFiles/tenoc_area.dir/area/area_model.cc.o.d"
+  "libtenoc_area.a"
+  "libtenoc_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenoc_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenoc_cache.dir/cache/cache.cc.o"
+  "CMakeFiles/tenoc_cache.dir/cache/cache.cc.o.d"
+  "CMakeFiles/tenoc_cache.dir/cache/mshr.cc.o"
+  "CMakeFiles/tenoc_cache.dir/cache/mshr.cc.o.d"
+  "libtenoc_cache.a"
+  "libtenoc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenoc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

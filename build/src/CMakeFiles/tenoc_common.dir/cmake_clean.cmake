@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenoc_common.dir/common/clock.cc.o"
+  "CMakeFiles/tenoc_common.dir/common/clock.cc.o.d"
+  "CMakeFiles/tenoc_common.dir/common/config.cc.o"
+  "CMakeFiles/tenoc_common.dir/common/config.cc.o.d"
+  "CMakeFiles/tenoc_common.dir/common/log.cc.o"
+  "CMakeFiles/tenoc_common.dir/common/log.cc.o.d"
+  "CMakeFiles/tenoc_common.dir/common/rng.cc.o"
+  "CMakeFiles/tenoc_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/tenoc_common.dir/common/stats.cc.o"
+  "CMakeFiles/tenoc_common.dir/common/stats.cc.o.d"
+  "libtenoc_common.a"
+  "libtenoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenoc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtenoc_common.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/dram_bank.cc" "src/CMakeFiles/tenoc_dram.dir/dram/dram_bank.cc.o" "gcc" "src/CMakeFiles/tenoc_dram.dir/dram/dram_bank.cc.o.d"
+  "/root/repo/src/dram/dram_channel.cc" "src/CMakeFiles/tenoc_dram.dir/dram/dram_channel.cc.o" "gcc" "src/CMakeFiles/tenoc_dram.dir/dram/dram_channel.cc.o.d"
+  "/root/repo/src/dram/frfcfs.cc" "src/CMakeFiles/tenoc_dram.dir/dram/frfcfs.cc.o" "gcc" "src/CMakeFiles/tenoc_dram.dir/dram/frfcfs.cc.o.d"
+  "/root/repo/src/dram/gddr3.cc" "src/CMakeFiles/tenoc_dram.dir/dram/gddr3.cc.o" "gcc" "src/CMakeFiles/tenoc_dram.dir/dram/gddr3.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tenoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenoc_dram.dir/dram/dram_bank.cc.o"
+  "CMakeFiles/tenoc_dram.dir/dram/dram_bank.cc.o.d"
+  "CMakeFiles/tenoc_dram.dir/dram/dram_channel.cc.o"
+  "CMakeFiles/tenoc_dram.dir/dram/dram_channel.cc.o.d"
+  "CMakeFiles/tenoc_dram.dir/dram/frfcfs.cc.o"
+  "CMakeFiles/tenoc_dram.dir/dram/frfcfs.cc.o.d"
+  "CMakeFiles/tenoc_dram.dir/dram/gddr3.cc.o"
+  "CMakeFiles/tenoc_dram.dir/dram/gddr3.cc.o.d"
+  "libtenoc_dram.a"
+  "libtenoc_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenoc_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/coalescer.cc" "src/CMakeFiles/tenoc_gpu.dir/gpu/coalescer.cc.o" "gcc" "src/CMakeFiles/tenoc_gpu.dir/gpu/coalescer.cc.o.d"
+  "/root/repo/src/gpu/inst_source.cc" "src/CMakeFiles/tenoc_gpu.dir/gpu/inst_source.cc.o" "gcc" "src/CMakeFiles/tenoc_gpu.dir/gpu/inst_source.cc.o.d"
+  "/root/repo/src/gpu/kernel_profile.cc" "src/CMakeFiles/tenoc_gpu.dir/gpu/kernel_profile.cc.o" "gcc" "src/CMakeFiles/tenoc_gpu.dir/gpu/kernel_profile.cc.o.d"
+  "/root/repo/src/gpu/simt_core.cc" "src/CMakeFiles/tenoc_gpu.dir/gpu/simt_core.cc.o" "gcc" "src/CMakeFiles/tenoc_gpu.dir/gpu/simt_core.cc.o.d"
+  "/root/repo/src/gpu/warp.cc" "src/CMakeFiles/tenoc_gpu.dir/gpu/warp.cc.o" "gcc" "src/CMakeFiles/tenoc_gpu.dir/gpu/warp.cc.o.d"
+  "/root/repo/src/gpu/workloads.cc" "src/CMakeFiles/tenoc_gpu.dir/gpu/workloads.cc.o" "gcc" "src/CMakeFiles/tenoc_gpu.dir/gpu/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tenoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenoc_gpu.dir/gpu/coalescer.cc.o"
+  "CMakeFiles/tenoc_gpu.dir/gpu/coalescer.cc.o.d"
+  "CMakeFiles/tenoc_gpu.dir/gpu/inst_source.cc.o"
+  "CMakeFiles/tenoc_gpu.dir/gpu/inst_source.cc.o.d"
+  "CMakeFiles/tenoc_gpu.dir/gpu/kernel_profile.cc.o"
+  "CMakeFiles/tenoc_gpu.dir/gpu/kernel_profile.cc.o.d"
+  "CMakeFiles/tenoc_gpu.dir/gpu/simt_core.cc.o"
+  "CMakeFiles/tenoc_gpu.dir/gpu/simt_core.cc.o.d"
+  "CMakeFiles/tenoc_gpu.dir/gpu/warp.cc.o"
+  "CMakeFiles/tenoc_gpu.dir/gpu/warp.cc.o.d"
+  "CMakeFiles/tenoc_gpu.dir/gpu/workloads.cc.o"
+  "CMakeFiles/tenoc_gpu.dir/gpu/workloads.cc.o.d"
+  "libtenoc_gpu.a"
+  "libtenoc_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenoc_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/buffer.cc" "src/CMakeFiles/tenoc_noc.dir/noc/buffer.cc.o" "gcc" "src/CMakeFiles/tenoc_noc.dir/noc/buffer.cc.o.d"
+  "/root/repo/src/noc/flit.cc" "src/CMakeFiles/tenoc_noc.dir/noc/flit.cc.o" "gcc" "src/CMakeFiles/tenoc_noc.dir/noc/flit.cc.o.d"
+  "/root/repo/src/noc/ideal_network.cc" "src/CMakeFiles/tenoc_noc.dir/noc/ideal_network.cc.o" "gcc" "src/CMakeFiles/tenoc_noc.dir/noc/ideal_network.cc.o.d"
+  "/root/repo/src/noc/mesh_network.cc" "src/CMakeFiles/tenoc_noc.dir/noc/mesh_network.cc.o" "gcc" "src/CMakeFiles/tenoc_noc.dir/noc/mesh_network.cc.o.d"
+  "/root/repo/src/noc/network_interface.cc" "src/CMakeFiles/tenoc_noc.dir/noc/network_interface.cc.o" "gcc" "src/CMakeFiles/tenoc_noc.dir/noc/network_interface.cc.o.d"
+  "/root/repo/src/noc/openloop.cc" "src/CMakeFiles/tenoc_noc.dir/noc/openloop.cc.o" "gcc" "src/CMakeFiles/tenoc_noc.dir/noc/openloop.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/CMakeFiles/tenoc_noc.dir/noc/router.cc.o" "gcc" "src/CMakeFiles/tenoc_noc.dir/noc/router.cc.o.d"
+  "/root/repo/src/noc/routing.cc" "src/CMakeFiles/tenoc_noc.dir/noc/routing.cc.o" "gcc" "src/CMakeFiles/tenoc_noc.dir/noc/routing.cc.o.d"
+  "/root/repo/src/noc/topology.cc" "src/CMakeFiles/tenoc_noc.dir/noc/topology.cc.o" "gcc" "src/CMakeFiles/tenoc_noc.dir/noc/topology.cc.o.d"
+  "/root/repo/src/noc/traffic.cc" "src/CMakeFiles/tenoc_noc.dir/noc/traffic.cc.o" "gcc" "src/CMakeFiles/tenoc_noc.dir/noc/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tenoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

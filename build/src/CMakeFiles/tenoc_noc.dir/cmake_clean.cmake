@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenoc_noc.dir/noc/buffer.cc.o"
+  "CMakeFiles/tenoc_noc.dir/noc/buffer.cc.o.d"
+  "CMakeFiles/tenoc_noc.dir/noc/flit.cc.o"
+  "CMakeFiles/tenoc_noc.dir/noc/flit.cc.o.d"
+  "CMakeFiles/tenoc_noc.dir/noc/ideal_network.cc.o"
+  "CMakeFiles/tenoc_noc.dir/noc/ideal_network.cc.o.d"
+  "CMakeFiles/tenoc_noc.dir/noc/mesh_network.cc.o"
+  "CMakeFiles/tenoc_noc.dir/noc/mesh_network.cc.o.d"
+  "CMakeFiles/tenoc_noc.dir/noc/network_interface.cc.o"
+  "CMakeFiles/tenoc_noc.dir/noc/network_interface.cc.o.d"
+  "CMakeFiles/tenoc_noc.dir/noc/openloop.cc.o"
+  "CMakeFiles/tenoc_noc.dir/noc/openloop.cc.o.d"
+  "CMakeFiles/tenoc_noc.dir/noc/router.cc.o"
+  "CMakeFiles/tenoc_noc.dir/noc/router.cc.o.d"
+  "CMakeFiles/tenoc_noc.dir/noc/routing.cc.o"
+  "CMakeFiles/tenoc_noc.dir/noc/routing.cc.o.d"
+  "CMakeFiles/tenoc_noc.dir/noc/topology.cc.o"
+  "CMakeFiles/tenoc_noc.dir/noc/topology.cc.o.d"
+  "CMakeFiles/tenoc_noc.dir/noc/traffic.cc.o"
+  "CMakeFiles/tenoc_noc.dir/noc/traffic.cc.o.d"
+  "libtenoc_noc.a"
+  "libtenoc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenoc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

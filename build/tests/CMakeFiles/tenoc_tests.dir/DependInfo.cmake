@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arbiter.cc" "tests/CMakeFiles/tenoc_tests.dir/test_arbiter.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_arbiter.cc.o.d"
+  "/root/repo/tests/test_area.cc" "tests/CMakeFiles/tenoc_tests.dir/test_area.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_area.cc.o.d"
+  "/root/repo/tests/test_buffer.cc" "tests/CMakeFiles/tenoc_tests.dir/test_buffer.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_buffer.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/tenoc_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_channel.cc" "tests/CMakeFiles/tenoc_tests.dir/test_channel.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_channel.cc.o.d"
+  "/root/repo/tests/test_chip.cc" "tests/CMakeFiles/tenoc_tests.dir/test_chip.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_chip.cc.o.d"
+  "/root/repo/tests/test_chip_config.cc" "tests/CMakeFiles/tenoc_tests.dir/test_chip_config.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_chip_config.cc.o.d"
+  "/root/repo/tests/test_clock.cc" "tests/CMakeFiles/tenoc_tests.dir/test_clock.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_clock.cc.o.d"
+  "/root/repo/tests/test_coalescer.cc" "tests/CMakeFiles/tenoc_tests.dir/test_coalescer.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_coalescer.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/tenoc_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_config_loader.cc" "tests/CMakeFiles/tenoc_tests.dir/test_config_loader.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_config_loader.cc.o.d"
+  "/root/repo/tests/test_dram_bank.cc" "tests/CMakeFiles/tenoc_tests.dir/test_dram_bank.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_dram_bank.cc.o.d"
+  "/root/repo/tests/test_dram_channel.cc" "tests/CMakeFiles/tenoc_tests.dir/test_dram_channel.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_dram_channel.cc.o.d"
+  "/root/repo/tests/test_flit.cc" "tests/CMakeFiles/tenoc_tests.dir/test_flit.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_flit.cc.o.d"
+  "/root/repo/tests/test_ideal_network.cc" "tests/CMakeFiles/tenoc_tests.dir/test_ideal_network.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_ideal_network.cc.o.d"
+  "/root/repo/tests/test_inst_source.cc" "tests/CMakeFiles/tenoc_tests.dir/test_inst_source.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_inst_source.cc.o.d"
+  "/root/repo/tests/test_kernel_profile.cc" "tests/CMakeFiles/tenoc_tests.dir/test_kernel_profile.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_kernel_profile.cc.o.d"
+  "/root/repo/tests/test_mc_node.cc" "tests/CMakeFiles/tenoc_tests.dir/test_mc_node.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_mc_node.cc.o.d"
+  "/root/repo/tests/test_mesh_network.cc" "tests/CMakeFiles/tenoc_tests.dir/test_mesh_network.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_mesh_network.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/tenoc_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_mshr.cc" "tests/CMakeFiles/tenoc_tests.dir/test_mshr.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_mshr.cc.o.d"
+  "/root/repo/tests/test_network_soak.cc" "tests/CMakeFiles/tenoc_tests.dir/test_network_soak.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_network_soak.cc.o.d"
+  "/root/repo/tests/test_openloop.cc" "tests/CMakeFiles/tenoc_tests.dir/test_openloop.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_openloop.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/tenoc_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_router.cc" "tests/CMakeFiles/tenoc_tests.dir/test_router.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_router.cc.o.d"
+  "/root/repo/tests/test_routing.cc" "tests/CMakeFiles/tenoc_tests.dir/test_routing.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_routing.cc.o.d"
+  "/root/repo/tests/test_simt_core.cc" "tests/CMakeFiles/tenoc_tests.dir/test_simt_core.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_simt_core.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/tenoc_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_topology.cc" "tests/CMakeFiles/tenoc_tests.dir/test_topology.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_topology.cc.o.d"
+  "/root/repo/tests/test_vc_map.cc" "tests/CMakeFiles/tenoc_tests.dir/test_vc_map.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_vc_map.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/tenoc_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/tenoc_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tenoc_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tenoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
