@@ -18,6 +18,7 @@
 
 #include "accel/experiments.hh"
 #include "area/area_model.hh"
+#include "telemetry/telemetry.hh"
 
 namespace tenoc::bench
 {
@@ -101,6 +102,27 @@ chipAreaFor(ConfigId id)
 {
     const AreaModel model;
     return model.chipArea(model.meshArea(areaSpecFor(id)));
+}
+
+/**
+ * Runs one instrumented workload and writes any telemetry outputs the
+ * user requested (--stats-json / --stats-csv / --interval-csv /
+ * --trace; parse them out of argv with parseTelemetryFlags *before*
+ * reading positional arguments).  No-op when no flag was given, so
+ * harnesses can call this unconditionally after their normal output.
+ */
+inline void
+runTelemetryWorkload(const telemetry::TelemetryConfig &cfg, ConfigId id,
+                     double scale, const std::string &workload = "MM")
+{
+    if (!cfg.any())
+        return;
+    std::fprintf(stderr,
+                 "[bench] telemetry run: %s on %s (scale %.2f)\n",
+                 workload.c_str(), configName(id), scale);
+    telemetry::TelemetryHub hub(cfg);
+    const auto prof = scaleWorkload(findWorkload(workload), scale);
+    runWorkload(makeConfig(id), prof, &hub);
 }
 
 } // namespace tenoc::bench

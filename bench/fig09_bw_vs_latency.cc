@@ -16,6 +16,8 @@ main(int argc, char **argv)
     banner("Figure 9/10 - bandwidth vs latency scaling",
            "2x channels: +27% HM; 1-cycle routers: +2.3% HM despite "
            "up to 2x lower network latency");
+    const auto telemetry_cfg =
+        telemetry::parseTelemetryFlags(argc, argv);
     const double scale = scaleFromArgs(argc, argv);
 
     const auto base = suite(ConfigId::BASELINE_TB_DOR, scale);
@@ -54,5 +56,7 @@ main(int argc, char **argv)
     std::printf("\npaper shape: latency drops to 0.5-0.9x but "
                 "application throughput barely moves; bandwidth is "
                 "what matters for these workloads.\n");
+    runTelemetryWorkload(telemetry_cfg, ConfigId::BASELINE_TB_DOR,
+                         scale);
     return 0;
 }

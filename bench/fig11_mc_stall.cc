@@ -14,6 +14,8 @@ main(int argc, char **argv)
 
     banner("Figure 11 - MC reply-path stalls on the baseline mesh",
            "MCs stalled up to ~70% of the time on HH benchmarks");
+    const auto telemetry_cfg =
+        telemetry::parseTelemetryFlags(argc, argv);
     const double scale = scaleFromArgs(argc, argv);
 
     const auto base = suite(ConfigId::BASELINE_TB_DOR, scale);
@@ -34,5 +36,7 @@ main(int argc, char **argv)
                 "~70%%)\n", 100.0 * hh_max);
     std::printf("paper shape: LL near zero, LH moderate, HH heavily "
                 "stalled - the many-to-few-to-many reply bottleneck.\n");
+    runTelemetryWorkload(telemetry_cfg, ConfigId::BASELINE_TB_DOR,
+                         scale);
     return 0;
 }

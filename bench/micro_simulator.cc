@@ -3,12 +3,26 @@
  * google-benchmark microbenchmarks of the simulator itself: cycles
  * per second for routers, the mesh, the DRAM channel, and a full
  * closed-loop chip.  Useful when optimizing the simulator.
+ *
+ * Also the telemetry harness: every run times one instrumented
+ * closed-loop chip and writes BENCH_telemetry.json (cycles simulated,
+ * wall-clock seconds, simulated cycles per second).  The telemetry
+ * flags (--stats-json / --stats-csv / --interval-csv / --trace, see
+ * docs/telemetry.md) attach sinks to that run; when any is given the
+ * google-benchmark suite is skipped so the telemetry files are the
+ * run's product.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
 #include "accel/experiments.hh"
 #include "noc/mesh_network.hh"
+#include "telemetry/json.hh"
+#include "telemetry/telemetry.hh"
 
 namespace
 {
@@ -95,6 +109,62 @@ BM_ClosedLoopChip(benchmark::State &state)
 }
 BENCHMARK(BM_ClosedLoopChip)->Unit(benchmark::kMillisecond);
 
+/** Times one instrumented chip run and writes BENCH_telemetry.json. */
+void
+runTelemetryHarness(const telemetry::TelemetryConfig &cfg)
+{
+    const char *workload = "MM";
+    const double scale = envScale(0.05);
+    telemetry::TelemetryHub hub(cfg);
+    const auto prof = scaleWorkload(findWorkload(workload), scale);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = runWorkload(
+        makeConfig(ConfigId::BASELINE_TB_DOR), prof, &hub);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall =
+        std::chrono::duration<double>(t1 - t0).count();
+    const double rate = wall > 0.0
+        ? static_cast<double>(result.icntCycles) / wall : 0.0;
+
+    telemetry::JsonValue doc =
+        telemetry::JsonValue::makeObject();
+    doc.set("workload", telemetry::JsonValue(workload));
+    doc.set("scale", telemetry::JsonValue(scale));
+    doc.set("icnt_cycles", telemetry::JsonValue(
+        static_cast<double>(result.icntCycles)));
+    doc.set("wall_seconds", telemetry::JsonValue(wall));
+    doc.set("sim_cycles_per_second", telemetry::JsonValue(rate));
+    doc.set("ipc", telemetry::JsonValue(result.ipc));
+    std::ofstream os("BENCH_telemetry.json");
+    doc.write(os);
+    os << "\n";
+
+    std::fprintf(stderr,
+                 "[micro_simulator] %s scale %.2f: %llu icnt cycles "
+                 "in %.2fs (%.0f cycles/s)\n",
+                 workload, scale,
+                 static_cast<unsigned long long>(result.icntCycles),
+                 wall, rate);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Telemetry flags must come out of argv before google-benchmark
+    // sees them (it rejects unknown arguments).
+    const auto cfg = telemetry::parseTelemetryFlags(argc, argv);
+
+    runTelemetryHarness(cfg);
+    if (cfg.any())
+        return 0; // telemetry run requested; skip the benchmark suite
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -6,9 +6,11 @@
 #include "accel/chip.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/log.hh"
 #include "dram/gddr3.hh"
+#include "telemetry/telemetry.hh"
 
 namespace tenoc
 {
@@ -127,9 +129,95 @@ Chip::Chip(const ChipParams &params, const KernelProfile &profile,
         net_->setSink(n, sinks_.back().get());
         ++core_id;
     }
+
+    buildStatModel();
 }
 
 Chip::~Chip() = default;
+
+void
+Chip::buildStatModel()
+{
+    stats_root_.addValue("core_cycles", [this] {
+        return static_cast<double>(core_now_);
+    });
+    stats_root_.addValue("icnt_cycles", [this] {
+        return static_cast<double>(icnt_now_);
+    });
+    stats_root_.addValue("mem_cycles", [this] {
+        return static_cast<double>(mem_now_);
+    });
+    stats_root_.addValue("scalar_insts", [this] {
+        std::uint64_t n = 0;
+        for (const auto &c : cores_)
+            n += c->scalarInsts();
+        return static_cast<double>(n);
+    });
+    stats_root_.addValue("ipc", [this] {
+        std::uint64_t n = 0;
+        for (const auto &c : cores_)
+            n += c->scalarInsts();
+        return core_now_
+            ? static_cast<double>(n) / core_now_ : 0.0;
+    });
+
+    net_->stats().registerStats(net_group_);
+    stats_root_.addChild(&net_group_);
+
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        core_groups_.push_back(std::make_unique<StatGroup>(
+            "core" + std::to_string(i)));
+        cores_[i]->registerStats(*core_groups_.back());
+        stats_root_.addChild(core_groups_.back().get());
+    }
+    for (std::size_t i = 0; i < mcs_.size(); ++i) {
+        mc_groups_.push_back(std::make_unique<StatGroup>(
+            "mc" + std::to_string(i)));
+        mcs_[i]->registerStats(*mc_groups_.back());
+        dram_groups_.push_back(std::make_unique<StatGroup>("dram"));
+        mcs_[i]->dram().registerStats(*dram_groups_.back());
+        mc_groups_.back()->addChild(dram_groups_.back().get());
+        stats_root_.addChild(mc_groups_.back().get());
+    }
+}
+
+void
+Chip::attachTelemetry(telemetry::TelemetryHub &hub)
+{
+    hub_ = &hub;
+    net_->attachTelemetry(hub);
+    auto *sampler = hub.sampler();
+    if (!sampler)
+        return;
+    sampler->addCounter("scalar_insts", [this] {
+        std::uint64_t n = 0;
+        for (const auto &c : cores_)
+            n += c->scalarInsts();
+        return static_cast<double>(n);
+    });
+    sampler->addCounterVector(
+        "core_insts", cores_.size(), [this](std::size_t i) {
+            return static_cast<double>(cores_[i]->scalarInsts());
+        });
+    sampler->addCounter("dram_row_hits", [this] {
+        std::uint64_t n = 0;
+        for (const auto &mc : mcs_)
+            n += mc->dram().rowHits();
+        return static_cast<double>(n);
+    });
+    sampler->addCounter("mc_stall_cycles", [this] {
+        std::uint64_t n = 0;
+        for (const auto &mc : mcs_)
+            n += mc->stallCycles();
+        return static_cast<double>(n);
+    });
+    sampler->addCounter("flits_injected", [this] {
+        return static_cast<double>(net_->stats().flitsInjected);
+    });
+    sampler->addCounter("flits_ejected", [this] {
+        return static_cast<double>(net_->stats().flitsEjected);
+    });
+}
 
 void
 Chip::buildNetwork()
@@ -171,6 +259,8 @@ Chip::icntTick()
         mc->icntCycle(icnt_now_);
     net_->cycle(icnt_now_);
     ++icnt_now_;
+    if (hub_)
+        hub_->tick(icnt_now_);
 }
 
 void
@@ -238,6 +328,8 @@ Chip::run()
         for (auto &c : cores_)
             c->restart();
     }
+    if (hub_)
+        hub_->finish(icnt_now_);
     return collect(timed_out);
 }
 

@@ -75,11 +75,23 @@ class Chip
     Network &network() { return *net_; }
     const Topology &topology() const { return net_->topology(); }
 
+    /**
+     * Attaches a telemetry hub before run(): registers interval-
+     * sampler probes (per-core instructions, DRAM row hits, MC stalls,
+     * network flit flow), wires flit tracers into the network, and
+     * ticks the sampler from the interconnect clock.
+     */
+    void attachTelemetry(telemetry::TelemetryHub &hub);
+
+    /** Full chip statistics hierarchy (root group "chip"). */
+    const StatGroup &statGroup() const { return stats_root_; }
+
   private:
     class CorePort;
     class CoreSink;
 
     void buildNetwork();
+    void buildStatModel();
     void icntTick();
     void coreTick();
     void memTick();
@@ -104,6 +116,16 @@ class Chip
     Cycle icnt_now_ = 0;
     Cycle core_now_ = 0;
     Cycle mem_now_ = 0;
+
+    // Statistics hierarchy (groups are registries of pointers into the
+    // components above, so they must outlive nothing).
+    StatGroup stats_root_{"chip"};
+    StatGroup net_group_{"net"};
+    std::vector<std::unique_ptr<StatGroup>> core_groups_;
+    std::vector<std::unique_ptr<StatGroup>> mc_groups_;
+    std::vector<std::unique_ptr<StatGroup>> dram_groups_;
+
+    telemetry::TelemetryHub *hub_ = nullptr;
 };
 
 } // namespace tenoc

@@ -8,6 +8,7 @@
 #include <cstdlib>
 
 #include "common/log.hh"
+#include "telemetry/telemetry.hh"
 
 namespace tenoc
 {
@@ -15,8 +16,20 @@ namespace tenoc
 ChipResult
 runWorkload(const ChipParams &params, const KernelProfile &profile)
 {
+    return runWorkload(params, profile, nullptr);
+}
+
+ChipResult
+runWorkload(const ChipParams &params, const KernelProfile &profile,
+            telemetry::TelemetryHub *hub)
+{
     Chip chip(params, profile);
-    return chip.run();
+    if (hub)
+        chip.attachTelemetry(*hub);
+    ChipResult result = chip.run();
+    if (hub)
+        hub->writeOutputs(&chip.statGroup());
+    return result;
 }
 
 std::vector<SuiteRun>

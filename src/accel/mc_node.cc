@@ -183,4 +183,20 @@ McNode::idle() const
         l2_writebacks_.empty() && dram_.idle();
 }
 
+void
+McNode::registerStats(StatGroup &group) const
+{
+    group.addValue("requests_served", [this] {
+        return static_cast<double>(requests_served_);
+    });
+    group.addValue("stall_cycles", [this] {
+        return static_cast<double>(stall_cycles_);
+    });
+    group.addValue("icnt_cycles", [this] {
+        return static_cast<double>(icnt_cycles_);
+    });
+    group.addValue("stall_fraction",
+                   [this] { return stallFraction(); });
+}
+
 } // namespace tenoc

@@ -83,6 +83,10 @@ class McNode : public PacketSink
     const Cache &l2() const { return l2_; }
     std::uint64_t requestsServed() const { return requests_served_; }
 
+    /** Registers the MC's statistics under `group` (the DRAM channel
+     *  registers its own under a child group). */
+    void registerStats(StatGroup &group) const;
+
   private:
     void injectReply(PacketPtr reply, Cycle icnt_now);
 

@@ -76,8 +76,22 @@ Histogram::percentile(double p) const
     if (count_ == 0)
         return 0.0;
     p = std::clamp(p, 0.0, 1.0);
-    const auto target =
-        static_cast<std::uint64_t>(p * static_cast<double>(count_));
+    if (p == 0.0) {
+        // Lower edge of the minimum's bucket, not bucket 0's upper
+        // edge (which over-reported whenever bucket 0 was empty).
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+            if (buckets_[i] != 0)
+                return bucketLow(i);
+        }
+        return low_;
+    }
+    // Smallest bucket upper edge whose cumulative count reaches
+    // ceil(p * count).  Truncation here used to yield target 0 for
+    // small p, short-circuiting to bucket 0 even when it was empty.
+    const auto target = std::min<std::uint64_t>(
+        count_,
+        static_cast<std::uint64_t>(
+            std::ceil(p * static_cast<double>(count_))));
     std::uint64_t running = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         running += buckets_[i];
@@ -113,6 +127,8 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
         emit(h->name() + ".mean", h->mean());
         emit(h->name() + ".count", h->count());
     }
+    for (const auto &v : values_)
+        emit(v.name, v.fn());
     for (const auto *g : children_)
         g->dump(os, base);
 }

@@ -12,8 +12,10 @@
 #define TENOC_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tenoc
@@ -85,10 +87,19 @@ class Histogram
 
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
-    /** @return value below which the given fraction of samples fall. */
+    /**
+     * Percentile estimate from the bucket CDF: the upper edge of the
+     * first bucket whose cumulative count reaches ceil(p * count).
+     * p == 0 returns the lower edge of the first non-empty bucket
+     * (the minimum's bucket), so percentile(0)..percentile(1) always
+     * brackets the observed samples.  0 when empty.
+     */
     double percentile(double p) const;
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     double bucketLow(std::size_t i) const;
+    double low() const { return low_; }
+    double high() const { return high_; }
+    double bucketWidth() const { return width_; }
     const std::string &name() const { return name_; }
 
   private:
@@ -109,23 +120,58 @@ class Histogram
 class StatGroup
 {
   public:
+    /** Lazily evaluated scalar (bridges plain struct fields and
+     *  derived metrics into the registry without a Counter object). */
+    using ValueFn = std::function<double()>;
+    struct NamedValue
+    {
+        std::string name;
+        ValueFn fn;
+    };
+
     explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
 
     void add(const Counter *c) { counters_.push_back(c); }
     void add(const Accumulator *a) { accums_.push_back(a); }
     void add(const Histogram *h) { histograms_.push_back(h); }
     void addChild(const StatGroup *g) { children_.push_back(g); }
+    /** Registers a lazily evaluated scalar under `name`. */
+    void
+    addValue(std::string name, ValueFn fn)
+    {
+        values_.push_back({std::move(name), std::move(fn)});
+    }
 
     /** Writes "group.stat value" lines for all registered stats. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
     const std::string &name() const { return name_; }
 
+    // --- traversal (used by telemetry exporters) ---
+    const std::vector<const Counter *> &counters() const
+    {
+        return counters_;
+    }
+    const std::vector<const Accumulator *> &accumulators() const
+    {
+        return accums_;
+    }
+    const std::vector<const Histogram *> &histograms() const
+    {
+        return histograms_;
+    }
+    const std::vector<NamedValue> &values() const { return values_; }
+    const std::vector<const StatGroup *> &children() const
+    {
+        return children_;
+    }
+
   private:
     std::string name_;
     std::vector<const Counter *> counters_;
     std::vector<const Accumulator *> accums_;
     std::vector<const Histogram *> histograms_;
+    std::vector<NamedValue> values_;
     std::vector<const StatGroup *> children_;
 };
 

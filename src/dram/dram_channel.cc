@@ -61,8 +61,11 @@ DramChannel::cycle(Cycle now)
     // DRAM pipeline (Fig. 11).
     const bool return_space =
         in_flight_.size() + completed_.size() < params_.returnBufferCap;
+    if (!return_space)
+        sched_stats_.blockedByReturnBuffer.inc();
     const auto hit = return_space
-        ? FrFcfsScheduler::pickRowHit(queue_, *this, now)
+        ? FrFcfsScheduler::pickRowHit(queue_, *this, now,
+                                      &sched_stats_)
         : std::optional<std::size_t>{};
     if (hit) {
         const std::size_t i = *hit;
@@ -152,6 +155,30 @@ DramChannel::efficiency() const
         return 0.0;
     return static_cast<double>(bus_busy_cycles_) /
         static_cast<double>(pending_cycles_);
+}
+
+void
+DramChannel::registerStats(StatGroup &group) const
+{
+    group.addValue("row_hits", [this] {
+        return static_cast<double>(row_hits_);
+    });
+    group.addValue("row_misses", [this] {
+        return static_cast<double>(row_misses_);
+    });
+    group.addValue("served_requests", [this] {
+        return static_cast<double>(served_);
+    });
+    group.addValue("bus_busy_cycles", [this] {
+        return static_cast<double>(bus_busy_cycles_);
+    });
+    group.addValue("pending_cycles", [this] {
+        return static_cast<double>(pending_cycles_);
+    });
+    group.addValue("efficiency", [this] { return efficiency(); });
+    group.add(&sched_stats_.rowHitPicks);
+    group.add(&sched_stats_.reorderDepth);
+    group.add(&sched_stats_.blockedByReturnBuffer);
 }
 
 } // namespace tenoc

@@ -65,6 +65,12 @@ class DramChannel
     /** @return queue occupancy (for backpressure stats). */
     std::size_t queueDepth() const { return queue_.size(); }
 
+    const FrFcfsStats &schedStats() const { return sched_stats_; }
+
+    /** Registers all channel statistics under `group` (lazy values for
+     *  the plain scalar fields plus the scheduler's stat objects). */
+    void registerStats(StatGroup &group) const;
+
     friend class FrFcfsScheduler;
 
   private:
@@ -90,6 +96,7 @@ class DramChannel
     std::uint64_t served_ = 0;
     std::uint64_t bus_busy_cycles_ = 0;
     std::uint64_t pending_cycles_ = 0;
+    FrFcfsStats sched_stats_;
 };
 
 } // namespace tenoc

@@ -12,12 +12,17 @@ namespace tenoc
 
 std::optional<std::size_t>
 FrFcfsScheduler::pickRowHit(const Queue &queue, const DramChannel &ch,
-                            Cycle now)
+                            Cycle now, FrFcfsStats *stats)
 {
     for (std::size_t i = 0; i < queue.size(); ++i) {
         const auto &req = queue[i];
-        if (ch.banks_[req.coord.bank].canCas(now, req.coord.row))
+        if (ch.banks_[req.coord.bank].canCas(now, req.coord.row)) {
+            if (stats) {
+                stats->rowHitPicks.inc();
+                stats->reorderDepth.sample(static_cast<double>(i));
+            }
             return i;
+        }
     }
     return std::nullopt;
 }

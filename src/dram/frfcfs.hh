@@ -14,6 +14,7 @@
 #include <deque>
 #include <optional>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/gddr3.hh"
 
@@ -31,6 +32,17 @@ struct DramRequest
     bool openedRow = false;  ///< an ACTIVATE was issued for this request
 };
 
+/** Scheduling-decision statistics (owned by the channel). */
+struct FrFcfsStats
+{
+    /** Row-hit selections that bypassed an older queued request. */
+    Counter rowHitPicks{"row_hit_picks"};
+    /** Queue depth skipped to reach the chosen row hit. */
+    Accumulator reorderDepth{"reorder_depth"};
+    /** Cycles CAS issue was gated by a full read-out buffer. */
+    Counter blockedByReturnBuffer{"blocked_by_return_buffer"};
+};
+
 /** FR-FCFS selection over a request queue. */
 class FrFcfsScheduler
 {
@@ -39,11 +51,12 @@ class FrFcfsScheduler
 
     /**
      * @return index into `queue` of the oldest row-hit request whose
-     * bank can issue a CAS at `now`, if any.
+     * bank can issue a CAS at `now`, if any.  When `stats` is given,
+     * records the pick and how far it reordered past the queue head.
      */
     static std::optional<std::size_t>
     pickRowHit(const Queue &queue, const class DramChannel &ch,
-               Cycle now);
+               Cycle now, FrFcfsStats *stats = nullptr);
 
     /**
      * @return index of the oldest request overall (FCFS order), used

@@ -239,4 +239,27 @@ SimtCore::onReadReply(Addr line)
     }
 }
 
+void
+SimtCore::registerStats(StatGroup &group) const
+{
+    group.addValue("scalar_insts", [this] {
+        return static_cast<double>(scalar_insts_);
+    });
+    group.addValue("warp_insts", [this] {
+        return static_cast<double>(warp_insts_);
+    });
+    group.addValue("stall_slots", [this] {
+        return static_cast<double>(stall_slots_);
+    });
+    group.addValue("mem_insts", [this] {
+        return static_cast<double>(mem_insts_);
+    });
+    group.addValue("reads_sent", [this] {
+        return static_cast<double>(reads_sent_);
+    });
+    group.addValue("writes_sent", [this] {
+        return static_cast<double>(writes_sent_);
+    });
+}
+
 } // namespace tenoc

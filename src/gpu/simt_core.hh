@@ -24,6 +24,7 @@
 #include "cache/cache.hh"
 #include "cache/mshr.hh"
 #include "common/rng.hh"
+#include "common/stats.hh"
 #include "gpu/inst_source.hh"
 #include "gpu/kernel_profile.hh"
 #include "gpu/warp.hh"
@@ -111,6 +112,9 @@ class SimtCore
     Cycle finishCycle() const { return finish_cycle_; }
     const Cache &l1() const { return l1_; }
     const MshrTable &mshrs() const { return mshrs_; }
+
+    /** Registers the core's statistics under `group`. */
+    void registerStats(StatGroup &group) const;
 
   private:
     /** Attempts to issue one warp instruction; @return success. */

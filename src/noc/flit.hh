@@ -54,6 +54,7 @@ struct Packet
      *  at enqueue) so latency includes source-side queueing. */
     Cycle createdCycle = INVALID_CYCLE;
     Cycle injectedCycle = INVALID_CYCLE; ///< head flit entered router
+    Cycle headEjectedCycle = INVALID_CYCLE; ///< head flit left network
     Cycle ejectedCycle = INVALID_CYCLE;  ///< tail flit left network
 
     /** Current routing class: 0 for an XY leg, 1 for a YX leg. */

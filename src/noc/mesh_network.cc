@@ -5,6 +5,8 @@
 
 #include "noc/mesh_network.hh"
 
+#include "telemetry/telemetry.hh"
+
 namespace tenoc
 {
 
@@ -30,6 +32,36 @@ NetStats::injectionRate(const std::vector<NodeId> &nodes) const
         total += nodeInjectedFlits[n];
     return static_cast<double>(total) /
         (static_cast<double>(cycles) * nodes.size());
+}
+
+void
+NetStats::registerStats(StatGroup &group)
+{
+    // Scalars are plain struct fields (some are adjusted in place,
+    // e.g. the double network's cycle correction), so export them
+    // lazily rather than mirroring them into Counter objects.
+    group.addValue("cycles",
+                   [this] { return static_cast<double>(cycles); });
+    group.addValue("packets_injected", [this] {
+        return static_cast<double>(packetsInjected);
+    });
+    group.addValue("packets_ejected", [this] {
+        return static_cast<double>(packetsEjected);
+    });
+    group.addValue("flits_injected", [this] {
+        return static_cast<double>(flitsInjected);
+    });
+    group.addValue("flits_ejected", [this] {
+        return static_cast<double>(flitsEjected);
+    });
+    group.addValue("accepted_bytes_per_cycle_per_node",
+                   [this] { return acceptedBytesPerCyclePerNode(); });
+    group.add(&totalLatency);
+    group.add(&netLatency);
+    group.add(&totalLatencyHist);
+    group.add(&queueLatencyHist);
+    group.add(&traversalLatencyHist);
+    group.add(&serializationLatencyHist);
 }
 
 MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
@@ -138,6 +170,43 @@ MeshNetwork::cycle(Cycle now)
         ni->drainPhase(now);
 }
 
+void
+MeshNetwork::attachTelemetry(telemetry::TelemetryHub &hub)
+{
+    attachTelemetryPrefixed(hub, "");
+}
+
+void
+MeshNetwork::attachTelemetryPrefixed(telemetry::TelemetryHub &hub,
+                                     const std::string &prefix)
+{
+    if (auto *sampler = hub.sampler()) {
+        const std::size_t nodes = routers_.size();
+        sampler->addGaugeVector(
+            prefix + "router_occ", nodes, [this](std::size_t n) {
+                return static_cast<double>(routers_[n]->bufferedFlits());
+            });
+        sampler->addCounterVector(
+            prefix + "link_flits", nodes * NUM_DIRS,
+            [this](std::size_t i) {
+                return static_cast<double>(
+                    routers_[i / NUM_DIRS]->linkFlits(i % NUM_DIRS));
+            });
+        sampler->addCounter(prefix + "flits_traversed", [this] {
+            std::uint64_t n = 0;
+            for (const auto &r : routers_)
+                n += r->flitsTraversed();
+            return static_cast<double>(n);
+        });
+    }
+    if (auto *tracer = hub.tracer()) {
+        for (auto &r : routers_)
+            r->setTracer(tracer);
+        for (auto &ni : nis_)
+            ni->setTracer(tracer);
+    }
+}
+
 bool
 MeshNetwork::drained() const
 {
@@ -233,6 +302,13 @@ bool
 DoubleNetwork::drained() const
 {
     return request_->drained() && reply_->drained();
+}
+
+void
+DoubleNetwork::attachTelemetry(telemetry::TelemetryHub &hub)
+{
+    request_->attachTelemetryPrefixed(hub, "req_");
+    reply_->attachTelemetryPrefixed(hub, "rep_");
 }
 
 std::unique_ptr<Network>

@@ -62,7 +62,16 @@ class MeshNetwork : public Network
     void setSink(NodeId n, PacketSink *sink) override;
     void cycle(Cycle now) override;
     bool drained() const override;
+    void attachTelemetry(telemetry::TelemetryHub &hub) override;
     NetStats &stats() override { return *stats_; }
+
+    /**
+     * attachTelemetry with a column-name prefix; the double network
+     * uses "req_" / "rep_" so both slices' probes coexist in one
+     * interval CSV.
+     */
+    void attachTelemetryPrefixed(telemetry::TelemetryHub &hub,
+                                 const std::string &prefix);
 
     const VcMap &vcMap() const { return vc_map_; }
     const RoutingAlgorithm &routing() const { return *routing_; }
@@ -111,6 +120,7 @@ class DoubleNetwork : public Network
     void setSink(NodeId n, PacketSink *sink) override;
     void cycle(Cycle now) override;
     bool drained() const override;
+    void attachTelemetry(telemetry::TelemetryHub &hub) override;
     NetStats &stats() override { return *stats_; }
 
     MeshNetwork &requestNet() { return *request_; }

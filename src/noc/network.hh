@@ -18,6 +18,11 @@
 namespace tenoc
 {
 
+namespace telemetry
+{
+class TelemetryHub;
+} // namespace telemetry
+
 /**
  * Consumer of packets at a node (compute core or MC).
  *
@@ -56,6 +61,16 @@ struct NetStats
     /** Distribution of total latency (for tail percentiles). */
     Histogram totalLatencyHist{"total_latency_hist", 0.0, 4000.0, 400};
 
+    // --- per-packet latency breakdown (telemetry) ---
+    /** Source-side queueing: NI enqueue -> head entered router. */
+    Histogram queueLatencyHist{"queue_latency_hist", 0.0, 2000.0, 200};
+    /** Traversal: head entered router -> head ejected. */
+    Histogram traversalLatencyHist{
+        "traversal_latency_hist", 0.0, 1000.0, 200};
+    /** Serialization: head ejected -> tail ejected. */
+    Histogram serializationLatencyHist{
+        "serialization_latency_hist", 0.0, 256.0, 64};
+
     std::vector<std::uint64_t> nodeInjectedFlits;
     std::vector<std::uint64_t> nodeEjectedFlits;
     std::vector<std::uint64_t> nodeInjectedBytes;
@@ -66,6 +81,10 @@ struct NetStats
 
     /** Mean injection rate of a node set, flits/cycle/node. */
     double injectionRate(const std::vector<NodeId> &nodes) const;
+
+    /** Registers every field (scalars lazily, via StatGroup::addValue)
+     *  under `group` for structured metrics export. */
+    void registerStats(StatGroup &group);
 };
 
 /** Abstract interconnect. */
@@ -94,6 +113,15 @@ class Network
 
     /** @return true when no traffic remains in flight. */
     virtual bool drained() const = 0;
+
+    /**
+     * Wires the hub's sampler probes and flit tracer into the network.
+     * Default is a no-op (ideal networks have nothing to sample).
+     */
+    virtual void attachTelemetry(telemetry::TelemetryHub &hub)
+    {
+        (void)hub;
+    }
 
     virtual NetStats &stats() = 0;
     const NetStats &stats() const

@@ -5,6 +5,8 @@
 
 #include "noc/network_interface.hh"
 
+#include "telemetry/trace_sink.hh"
+
 namespace tenoc
 {
 
@@ -111,8 +113,14 @@ NetworkInterface::injectPhase(Cycle now)
             if (!act.valid || router_.injFreeSlots(p, vc) == 0)
                 continue;
             Flit flit = act.flits[act.next];
-            if (flit.head && act.pkt->injectedCycle == INVALID_CYCLE)
+            if (flit.head && act.pkt->injectedCycle == INVALID_CYCLE) {
                 act.pkt->injectedCycle = now;
+                if (tracer_ && tracer_->wants(act.pkt->id)) {
+                    tracer_->complete("inject_queue", node_,
+                                      act.pkt->id,
+                                      act.pkt->createdCycle, now);
+                }
+            }
             ++stats_.flitsInjected;
             stats_.nodeInjectedFlits[node_] += 1;
             router_.injectFlit(p, std::move(flit), now);
@@ -156,6 +164,8 @@ NetworkInterface::drainPhase(Cycle now)
         buf.pop_front();
         ++stats_.flitsEjected;
         stats_.nodeEjectedFlits[node_] += 1;
+        if (flit.head)
+            flit.pkt->headEjectedCycle = now;
         if (flit.tail) {
             PacketPtr pkt = flit.pkt;
             pkt->ejectedCycle = now;
@@ -168,6 +178,23 @@ NetworkInterface::drainPhase(Cycle now)
             if (pkt->injectedCycle != INVALID_CYCLE) {
                 stats_.netLatency.sample(
                     static_cast<double>(now - pkt->injectedCycle));
+                stats_.queueLatencyHist.sample(static_cast<double>(
+                    pkt->injectedCycle - pkt->createdCycle));
+                if (pkt->headEjectedCycle != INVALID_CYCLE) {
+                    stats_.traversalLatencyHist.sample(
+                        static_cast<double>(pkt->headEjectedCycle -
+                                            pkt->injectedCycle));
+                    stats_.serializationLatencyHist.sample(
+                        static_cast<double>(now -
+                                            pkt->headEjectedCycle));
+                }
+            }
+            if (tracer_ && tracer_->wants(pkt->id)) {
+                tracer_->complete(
+                    "eject", node_, pkt->id,
+                    pkt->headEjectedCycle != INVALID_CYCLE
+                        ? pkt->headEjectedCycle : now,
+                    now);
             }
             if (sink_)
                 sink_->deliver(std::move(pkt), now);

@@ -53,6 +53,9 @@ class NetworkInterface : public EjectionSink
 
     void setSink(PacketSink *sink) { sink_ = sink; }
 
+    /** Attaches (or detaches, with nullptr) a flit-event tracer. */
+    void setTracer(telemetry::TraceSink *tracer) { tracer_ = tracer; }
+
     /** @return true if one more packet fits in the class queue. */
     bool canInject(int proto_class) const;
 
@@ -93,6 +96,7 @@ class NetworkInterface : public EjectionSink
     NiParams params_;
     NetStats &stats_;
     PacketSink *sink_ = nullptr;
+    telemetry::TraceSink *tracer_ = nullptr;
 
     std::vector<std::deque<PacketPtr>> inj_queues_; ///< per class
     /** One in-flight packet per (injection port, VC): removes NI

@@ -5,6 +5,8 @@
 
 #include "noc/router.hh"
 
+#include "telemetry/trace_sink.hh"
+
 namespace tenoc
 {
 
@@ -158,7 +160,6 @@ Router::routeCompute(Cycle now)
 void
 Router::vcAllocate(Cycle now)
 {
-    (void)now;
     const unsigned vcs = numVcs();
     for (unsigned o = 0; o < numOutputs(); ++o) {
         auto &out = outputs_[o];
@@ -207,6 +208,8 @@ Router::vcAllocate(Cycle now)
             inputs_[in].setOutVc(vc, granted);
             inputs_[in].setState(vc, VcState::ACTIVE);
             out.vaArb.accept(idx);
+            if (tracer_ && tracer_->wants(pkt.id))
+                tracer_->instant("va", id_, pkt.id, now);
         }
     }
 }
@@ -300,6 +303,10 @@ Router::switchAllocate(Cycle now)
         const bool tail = flit.tail;
         if (!isInjection(in) && in_links_[in].creditOut)
             in_links_[in].creditOut->send(Credit{flit.vc}, now);
+        if (tracer_ && flit.head && tracer_->wants(flit.pkt->id)) {
+            tracer_->complete(isEjection(o) ? "eject_hop" : "hop", id_,
+                              flit.pkt->id, flit.enqueueCycle, now);
+        }
         flit.vc = out_vc;
         if (isEjection(o)) {
             sink_->ejectFlit(o - NUM_DIRS, std::move(flit), now);
@@ -308,6 +315,7 @@ Router::switchAllocate(Cycle now)
             tenoc_assert(ovc.credits > 0, "SA granted without credit");
             --ovc.credits;
             outputs_[o].flitOut->send(std::move(flit), now);
+            ++link_flits_[o];
         }
         if (tail) {
             outputs_[o].vcs[out_vc].owned = false;

@@ -31,6 +31,7 @@
 #ifndef TENOC_NOC_ROUTER_HH
 #define TENOC_NOC_ROUTER_HH
 
+#include <array>
 #include <optional>
 #include <vector>
 
@@ -44,6 +45,11 @@
 
 namespace tenoc
 {
+
+namespace telemetry
+{
+class TraceSink;
+} // namespace telemetry
 
 /** Destination of ejected flits (implemented by NetworkInterface). */
 class EjectionSink
@@ -118,6 +124,13 @@ class Router
     std::uint64_t flitsTraversed() const { return flits_traversed_; }
     std::uint64_t bufferedFlits() const;
 
+    /** Flits sent on the outgoing link in direction `d` (per-link
+     *  utilization; ejection traffic is not counted here). */
+    std::uint64_t linkFlits(unsigned d) const { return link_flits_[d]; }
+
+    /** Attaches (or detaches, with nullptr) a flit-event tracer. */
+    void setTracer(telemetry::TraceSink *tracer) { tracer_ = tracer; }
+
   private:
     void routeCompute(Cycle now);
     void vcAllocate(Cycle now);
@@ -168,6 +181,8 @@ class Router
     unsigned ej_rr_ = 0;
 
     std::uint64_t flits_traversed_ = 0;
+    std::array<std::uint64_t, NUM_DIRS> link_flits_{};
+    telemetry::TraceSink *tracer_ = nullptr;
 };
 
 } // namespace tenoc

@@ -1,0 +1,524 @@
+/**
+ * @file
+ * JSON writer / parser implementation.
+ */
+
+#include "telemetry/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace tenoc::telemetry
+{
+
+JsonValue
+JsonValue::makeArray()
+{
+    JsonValue v;
+    v.kind_ = Kind::ARRAY;
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject()
+{
+    JsonValue v;
+    v.kind_ = Kind::OBJECT;
+    return v;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    kind_ = Kind::ARRAY;
+    arr_.push_back(std::move(v));
+}
+
+void
+JsonValue::set(std::string key, JsonValue v)
+{
+    kind_ = Kind::OBJECT;
+    for (auto &member : obj_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(std::move(key), std::move(v));
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::OBJECT)
+        return nullptr;
+    for (const auto &member : obj_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    switch (kind_) {
+      case Kind::ARRAY: return arr_.size();
+      case Kind::OBJECT: return obj_.size();
+      case Kind::STRING: return str_.size();
+      default: return 0;
+    }
+}
+
+void
+writeJsonString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << static_cast<char>(c);
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null"; // JSON has no NaN/Inf
+        return;
+    }
+    // Integers (the common case for counters) print without exponent
+    // or trailing zeros; everything else uses round-trip precision.
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        os << buf;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Trim to the shortest representation that round-trips.
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[32];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+        if (std::strtod(probe, nullptr) == v) {
+            os << probe;
+            return;
+        }
+    }
+    os << buf;
+}
+
+void
+JsonValue::writeIndented(std::ostream &os, unsigned indent,
+                         unsigned depth) const
+{
+    const auto newline = [&](unsigned d) {
+        if (indent == 0)
+            return;
+        os << '\n';
+        for (unsigned i = 0; i < indent * d; ++i)
+            os << ' ';
+    };
+    switch (kind_) {
+      case Kind::NUL:
+        os << "null";
+        break;
+      case Kind::BOOL:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::NUMBER:
+        writeJsonNumber(os, num_);
+        break;
+      case Kind::STRING:
+        writeJsonString(os, str_);
+        break;
+      case Kind::ARRAY: {
+        if (arr_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            arr_[i].writeIndented(os, indent, depth + 1);
+        }
+        newline(depth);
+        os << ']';
+        break;
+      }
+      case Kind::OBJECT: {
+        if (obj_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            writeJsonString(os, obj_[i].first);
+            os << (indent ? ": " : ":");
+            obj_[i].second.writeIndented(os, indent, depth + 1);
+        }
+        newline(depth);
+        os << '}';
+        break;
+      }
+    }
+}
+
+void
+JsonValue::write(std::ostream &os, unsigned indent) const
+{
+    writeIndented(os, indent, 0);
+}
+
+std::string
+JsonValue::toString(unsigned indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+namespace
+{
+
+/** Strict recursive-descent JSON parser over a string_view. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_ && error_->empty()) {
+            *error_ = msg + " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, unsigned depth)
+    {
+        if (depth > 256)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        switch (c) {
+          case 'n':
+            if (!literal("null"))
+                return fail("bad literal");
+            out = JsonValue();
+            return true;
+          case 't':
+            if (!literal("true"))
+                return fail("bad literal");
+            out = JsonValue(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return fail("bad literal");
+            out = JsonValue(false);
+            return true;
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = JsonValue(std::move(s));
+            return true;
+          }
+          case '[':
+            return parseArray(out, depth);
+          case '{':
+            return parseObject(out, depth);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            return fail("bad number");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail("bad fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail("bad exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        out = JsonValue(std::strtod(token.c_str(), nullptr));
+        return true;
+    }
+
+    bool
+    parseHex4(unsigned &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("bad \\u escape");
+        }
+        return true;
+    }
+
+    void
+    appendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            s += static_cast<char>(0xF0 | (cp >> 18));
+            s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("unterminated escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    unsigned cp = 0;
+                    if (!parseHex4(cp))
+                        return false;
+                    // Surrogate pair.
+                    if (cp >= 0xD800 && cp <= 0xDBFF &&
+                        pos_ + 1 < text_.size() &&
+                        text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+                        pos_ += 2;
+                        unsigned lo = 0;
+                        if (!parseHex4(lo))
+                            return false;
+                        if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                            cp = 0x10000 + ((cp - 0xD800) << 10) +
+                                 (lo - 0xDC00);
+                        }
+                    }
+                    appendUtf8(out, cp);
+                    break;
+                  }
+                  default:
+                    return fail("bad escape character");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return fail("raw control character in string");
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, unsigned depth)
+    {
+        ++pos_; // '['
+        out = JsonValue::makeArray();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue elem;
+            skipWs();
+            if (!parseValue(elem, depth + 1))
+                return false;
+            out.push(std::move(elem));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, unsigned depth)
+    {
+        ++pos_; // '{'
+        out = JsonValue::makeObject();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.set(std::move(key), std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    std::string_view text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+JsonValue::parse(std::string_view text, JsonValue &out,
+                 std::string *error)
+{
+    if (error)
+        error->clear();
+    Parser p(text, error);
+    return p.parseDocument(out);
+}
+
+} // namespace tenoc::telemetry

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Minimal JSON document model with a writer and a strict
+ * recursive-descent parser.
+ *
+ * Used by the telemetry subsystem to emit machine-readable metric /
+ * trace files and by the tests to parse them back (well-formedness is
+ * part of the telemetry contract).  Object member order is preserved
+ * so emitted files are stable across runs and diffs stay readable.
+ * No external dependencies.
+ */
+
+#ifndef TENOC_TELEMETRY_JSON_HH
+#define TENOC_TELEMETRY_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tenoc::telemetry
+{
+
+/** One JSON value (null / bool / number / string / array / object). */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        NUL,
+        BOOL,
+        NUMBER,
+        STRING,
+        ARRAY,
+        OBJECT
+    };
+
+    using Array = std::vector<JsonValue>;
+    /** Insertion-ordered object members. */
+    using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+    JsonValue() : kind_(Kind::NUL) {}
+    JsonValue(bool b) : kind_(Kind::BOOL), bool_(b) {}
+    JsonValue(double d) : kind_(Kind::NUMBER), num_(d) {}
+    JsonValue(int i) : kind_(Kind::NUMBER), num_(i) {}
+    JsonValue(std::uint64_t u)
+        : kind_(Kind::NUMBER), num_(static_cast<double>(u))
+    {}
+    JsonValue(std::int64_t i)
+        : kind_(Kind::NUMBER), num_(static_cast<double>(i))
+    {}
+    JsonValue(const char *s) : kind_(Kind::STRING), str_(s) {}
+    JsonValue(std::string s) : kind_(Kind::STRING), str_(std::move(s)) {}
+
+    /** @return an empty array value. */
+    static JsonValue makeArray();
+    /** @return an empty object value. */
+    static JsonValue makeObject();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::NUL; }
+    bool isBool() const { return kind_ == Kind::BOOL; }
+    bool isNumber() const { return kind_ == Kind::NUMBER; }
+    bool isString() const { return kind_ == Kind::STRING; }
+    bool isArray() const { return kind_ == Kind::ARRAY; }
+    bool isObject() const { return kind_ == Kind::OBJECT; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return num_; }
+    const std::string &asString() const { return str_; }
+    const Array &asArray() const { return arr_; }
+    const Object &asObject() const { return obj_; }
+
+    /** Appends to an array value. */
+    void push(JsonValue v);
+    /** Sets (or appends) an object member. */
+    void set(std::string key, JsonValue v);
+    /** @return the member named `key`, or nullptr. */
+    const JsonValue *find(std::string_view key) const;
+    /** @return true if the object has a member named `key`. */
+    bool has(std::string_view key) const { return find(key) != nullptr; }
+    std::size_t size() const;
+
+    /**
+     * Serializes this value.
+     * @param os output stream
+     * @param indent spaces per nesting level; 0 writes compact
+     *        single-line JSON
+     */
+    void write(std::ostream &os, unsigned indent = 2) const;
+    /** @return the serialized text. */
+    std::string toString(unsigned indent = 2) const;
+
+    /**
+     * Parses a complete JSON document (trailing garbage is an error).
+     * @param text document text
+     * @param error optional out-parameter receiving a message with a
+     *        byte offset on failure
+     * @return the parsed value, or std::nullopt-like null + error set
+     *         (check via the error parameter; a valid document may
+     *         itself be `null`)
+     */
+    static bool parse(std::string_view text, JsonValue &out,
+                      std::string *error = nullptr);
+
+  private:
+    void writeIndented(std::ostream &os, unsigned indent,
+                       unsigned depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+};
+
+/** Writes a JSON-escaped string literal (with quotes) to `os`. */
+void writeJsonString(std::ostream &os, std::string_view s);
+
+/** Formats a double as JSON (shortest round-trip; NaN/Inf as null). */
+void writeJsonNumber(std::ostream &os, double v);
+
+} // namespace tenoc::telemetry
+
+#endif // TENOC_TELEMETRY_JSON_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Structured exporters for the StatGroup registry.
+ *
+ * A MetricSink serializes a StatGroup hierarchy (counters,
+ * accumulators, histograms with full bucket data, and lazy values) to
+ * a machine-readable format.  Two implementations:
+ *
+ *  - JsonMetricSink: a JSON document with a flat `metrics` map whose
+ *    keys are exactly the dotted names StatGroup::dump prints (plus
+ *    extra accumulator min/max/sum detail), and a `histograms` map
+ *    carrying bucket edges and counts for heatmaps / CDF plots.
+ *  - CsvMetricSink: two-column `name,value` CSV with the same flat
+ *    names (histogram buckets as name.bucket[i] rows).
+ *
+ * Every bench binary gains `--stats-json <path>` on top of its text
+ * output through these sinks (see telemetry.hh).
+ */
+
+#ifndef TENOC_TELEMETRY_METRIC_SINK_HH
+#define TENOC_TELEMETRY_METRIC_SINK_HH
+
+#include <ostream>
+#include <string>
+
+#include "common/stats.hh"
+#include "telemetry/json.hh"
+
+namespace tenoc::telemetry
+{
+
+/** Serializes a StatGroup hierarchy to a stream. */
+class MetricSink
+{
+  public:
+    virtual ~MetricSink() = default;
+
+    /** Writes the whole hierarchy rooted at `root`. */
+    virtual void write(const StatGroup &root, std::ostream &os) = 0;
+
+    /** @return the conventional file extension (without the dot). */
+    virtual const char *extension() const = 0;
+};
+
+/** JSON exporter (schema `tenoc-metrics-v1`). */
+class JsonMetricSink : public MetricSink
+{
+  public:
+    void write(const StatGroup &root, std::ostream &os) override;
+    const char *extension() const override { return "json"; }
+
+    /** Builds the document without serializing (used by tests and by
+     *  callers that embed metrics in a larger document). */
+    static JsonValue toJson(const StatGroup &root);
+};
+
+/** Two-column CSV exporter (`name,value`). */
+class CsvMetricSink : public MetricSink
+{
+  public:
+    void write(const StatGroup &root, std::ostream &os) override;
+    const char *extension() const override { return "csv"; }
+};
+
+/**
+ * Writes `root` to `path` choosing the sink by file extension
+ * (".csv" -> CSV, anything else -> JSON).
+ * @return true on success (false: could not open the file).
+ */
+bool writeMetricsFile(const StatGroup &root, const std::string &path);
+
+} // namespace tenoc::telemetry
+
+#endif // TENOC_TELEMETRY_METRIC_SINK_HH

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * TelemetryHub and CLI flag parsing.
+ */
+
+#include "telemetry/telemetry.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/log.hh"
+
+namespace tenoc::telemetry
+{
+
+namespace
+{
+
+/**
+ * Matches `--name value` / `--name=value` at argv[i].
+ * @return true and sets `value` (advancing `i` past a separate value
+ *         argument) on a match.
+ */
+bool
+matchFlag(int argc, char **argv, int &i, const char *name,
+          std::string &value)
+{
+    const char *arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0)
+        return false;
+    const std::size_t name_len = std::strlen(name);
+    if (std::strncmp(arg + 2, name, name_len) != 0)
+        return false;
+    const char *rest = arg + 2 + name_len;
+    if (*rest == '=') {
+        value = rest + 1;
+        return true;
+    }
+    if (*rest == '\0') {
+        // A following "--..." argument is another flag, not a value:
+        // --stats-json --trace t.json must not eat --trace.
+        if (i + 1 >= argc ||
+            std::strncmp(argv[i + 1], "--", 2) == 0) {
+            warn("telemetry flag --", name, " needs a value; ignored");
+            value.clear();
+            return true;
+        }
+        value = argv[++i];
+        return true;
+    }
+    return false; // prefix of a longer flag (e.g. --interval-csv)
+}
+
+} // namespace
+
+TelemetryConfig
+parseTelemetryFlags(int &argc, char **argv)
+{
+    TelemetryConfig cfg;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string value;
+        // Longest names first: matchFlag rejects strict prefixes via
+        // the '=' / '\0' check, but keeping this order makes that
+        // obvious.
+        if (matchFlag(argc, argv, i, "interval-csv", value)) {
+            cfg.intervalCsvPath = value;
+        } else if (matchFlag(argc, argv, i, "interval", value)) {
+            const long long n = std::atoll(value.c_str());
+            if (n >= 1)
+                cfg.intervalCycles = static_cast<Cycle>(n);
+            else
+                warn("ignoring invalid --interval '", value, "'");
+        } else if (matchFlag(argc, argv, i, "stats-json", value)) {
+            cfg.statsJsonPath = value;
+        } else if (matchFlag(argc, argv, i, "stats-csv", value)) {
+            cfg.statsCsvPath = value;
+        } else if (matchFlag(argc, argv, i, "trace-sample", value)) {
+            const long long n = std::atoll(value.c_str());
+            if (n >= 1)
+                cfg.traceSampleEvery = static_cast<std::uint64_t>(n);
+            else
+                warn("ignoring invalid --trace-sample '", value, "'");
+        } else if (matchFlag(argc, argv, i, "trace", value)) {
+            cfg.tracePath = value;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return cfg;
+}
+
+TelemetryHub::TelemetryHub(const TelemetryConfig &config)
+    : config_(config)
+{
+    if (!config_.intervalCsvPath.empty())
+        sampler_ =
+            std::make_unique<IntervalSampler>(config_.intervalCycles);
+    if (!config_.tracePath.empty())
+        tracer_ =
+            std::make_unique<ChromeTraceSink>(config_.traceSampleEvery);
+}
+
+TelemetryHub::~TelemetryHub() = default;
+
+void
+TelemetryHub::finish(Cycle now)
+{
+    if (sampler_)
+        sampler_->finish(now);
+}
+
+bool
+TelemetryHub::writeOutputs(const StatGroup *root)
+{
+    bool ok = true;
+    auto toFile = [&](const std::string &path, auto &&writer) {
+        std::ofstream os(path);
+        if (!os) {
+            warn("telemetry: cannot open '", path, "' for writing");
+            ok = false;
+            return;
+        }
+        writer(os);
+        if (!os) {
+            warn("telemetry: short write to '", path, "'");
+            ok = false;
+        }
+    };
+    if (!config_.statsJsonPath.empty()) {
+        if (root) {
+            toFile(config_.statsJsonPath, [&](std::ostream &os) {
+                JsonMetricSink().write(*root, os);
+            });
+        } else {
+            warn("telemetry: --stats-json requested but no stats "
+                 "registry was provided");
+            ok = false;
+        }
+    }
+    if (!config_.statsCsvPath.empty()) {
+        if (root) {
+            toFile(config_.statsCsvPath, [&](std::ostream &os) {
+                CsvMetricSink().write(*root, os);
+            });
+        } else {
+            ok = false;
+        }
+    }
+    if (sampler_ && !config_.intervalCsvPath.empty()) {
+        toFile(config_.intervalCsvPath,
+               [&](std::ostream &os) { sampler_->writeCsv(os); });
+    }
+    if (tracer_ && !config_.tracePath.empty()) {
+        toFile(config_.tracePath,
+               [&](std::ostream &os) { tracer_->write(os); });
+    }
+    return ok;
+}
+
+} // namespace tenoc::telemetry

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ChromeTraceSink implementation.
+ */
+
+#include "telemetry/trace_sink.hh"
+
+#include "telemetry/json.hh"
+
+namespace tenoc::telemetry
+{
+
+void
+ChromeTraceSink::complete(const char *name, std::uint64_t pid,
+                          std::uint64_t tid, Cycle start, Cycle end)
+{
+    events_.push_back(
+        {name, 'X', pid, tid, start, end >= start ? end - start : 0});
+}
+
+void
+ChromeTraceSink::instant(const char *name, std::uint64_t pid,
+                         std::uint64_t tid, Cycle ts)
+{
+    events_.push_back({name, 'i', pid, tid, ts, 0});
+}
+
+void
+ChromeTraceSink::write(std::ostream &os) const
+{
+    // Streamed by hand rather than built as one JsonValue: traces can
+    // hold hundreds of thousands of events.
+    os << "[";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const Event &e = events_[i];
+        if (i)
+            os << ",";
+        os << "\n  {\"name\": ";
+        writeJsonString(os, e.name);
+        os << ", \"ph\": \"" << e.ph << "\", \"ts\": " << e.ts
+           << ", \"pid\": " << e.pid << ", \"tid\": " << e.tid;
+        if (e.ph == 'X')
+            os << ", \"dur\": " << e.dur;
+        if (e.ph == 'i')
+            os << ", \"s\": \"t\"";
+        os << "}";
+    }
+    os << "\n]\n";
+}
+
+} // namespace tenoc::telemetry

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Flit-level event tracing in Chrome trace-event format.
+ *
+ * A TraceSink receives lifecycle events for *sampled* packets:
+ * injection queueing at the source NI, per-hop VC allocation and
+ * switch traversal at every router, and ejection at the destination
+ * NI.  Sampling is by packet id (`id % sampleEvery == 0`) so soak
+ * tests and long closed-loop runs stay fast and the trace file stays
+ * loadable; hooks compile down to a null-pointer check when no sink
+ * is attached.
+ *
+ * ChromeTraceSink buffers events in memory and writes a JSON array of
+ * Chrome trace-event objects ({name, ph, ts, pid, tid, ...}) loadable
+ * in chrome://tracing / Perfetto:
+ *
+ *  - pid = the router/node where the event happened,
+ *  - tid = the packet id (one "thread" lane per traced packet),
+ *  - ts/dur = interconnect cycles ("X" complete events span a flit's
+ *    residency; "i" instants mark allocation decisions).
+ */
+
+#ifndef TENOC_TELEMETRY_TRACE_SINK_HH
+#define TENOC_TELEMETRY_TRACE_SINK_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tenoc::telemetry
+{
+
+/** Receiver of sampled flit lifecycle events. */
+class TraceSink
+{
+  public:
+    /** @param sample_every trace packets whose id is a multiple of
+     *         this (1 = every packet; must be >= 1) */
+    explicit TraceSink(std::uint64_t sample_every = 1)
+        : sample_every_(sample_every ? sample_every : 1)
+    {}
+    virtual ~TraceSink() = default;
+
+    /** @return true if events for this packet should be recorded.
+     *  Non-virtual and inline: this is the hot-path gate. */
+    bool
+    wants(std::uint64_t pkt_id) const
+    {
+        return pkt_id % sample_every_ == 0;
+    }
+
+    std::uint64_t sampleEvery() const { return sample_every_; }
+
+    /** Records a duration ("X") event spanning [start, end]. */
+    virtual void complete(const char *name, std::uint64_t pid,
+                          std::uint64_t tid, Cycle start,
+                          Cycle end) = 0;
+
+    /** Records an instant ("i") event at `ts`. */
+    virtual void instant(const char *name, std::uint64_t pid,
+                         std::uint64_t tid, Cycle ts) = 0;
+
+  private:
+    std::uint64_t sample_every_;
+};
+
+/** In-memory Chrome trace-event recorder. */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    explicit ChromeTraceSink(std::uint64_t sample_every = 1)
+        : TraceSink(sample_every)
+    {}
+
+    void complete(const char *name, std::uint64_t pid,
+                  std::uint64_t tid, Cycle start, Cycle end) override;
+    void instant(const char *name, std::uint64_t pid,
+                 std::uint64_t tid, Cycle ts) override;
+
+    std::size_t numEvents() const { return events_.size(); }
+
+    /** Writes the JSON array-of-events document. */
+    void write(std::ostream &os) const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        char ph;            ///< 'X' (complete) or 'i' (instant)
+        std::uint64_t pid;
+        std::uint64_t tid;
+        Cycle ts;
+        Cycle dur;          ///< 'X' only
+    };
+    std::vector<Event> events_;
+};
+
+} // namespace tenoc::telemetry
+
+#endif // TENOC_TELEMETRY_TRACE_SINK_HH

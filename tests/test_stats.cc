@@ -70,6 +70,53 @@ TEST(Histogram, Percentile)
     EXPECT_NEAR(h.percentile(0.99), 99.0, 2.0);
 }
 
+TEST(Histogram, PercentileZeroUsesFirstNonEmptyBucket)
+{
+    Histogram h("x", 0.0, 100.0, 10);
+    h.sample(95.0);
+    // The minimum lives in [90, 100); p=0 must not report bucket 0.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 90.0);
+    // Tiny but non-zero p rounds up to the first sample.
+    EXPECT_DOUBLE_EQ(h.percentile(0.001), 100.0);
+}
+
+TEST(Histogram, PercentileOneCoversMaximum)
+{
+    Histogram h("x", 0.0, 100.0, 10);
+    h.sample(5.0);
+    h.sample(55.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 60.0);
+    // percentile(0)..percentile(1) brackets the observed samples.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+}
+
+TEST(Histogram, PercentileSingleBucket)
+{
+    Histogram h("x", 0.0, 10.0, 1);
+    h.sample(3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(Histogram, PercentileSaturatingEdges)
+{
+    Histogram h("x", 0.0, 10.0, 2);
+    h.sample(-5.0);  // saturates into bucket 0
+    h.sample(100.0); // saturates into the last bucket
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(Histogram, PercentileEmpty)
+{
+    Histogram h("x", 0.0, 10.0, 4);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
 TEST(Histogram, WeightedSamples)
 {
     Histogram h("x", 0.0, 10.0, 10);
@@ -124,6 +171,21 @@ TEST(StatGroup, DumpsAllStats)
     const std::string out = os.str();
     EXPECT_NE(out.find("core0.lat.mean 2"), std::string::npos);
     EXPECT_NE(out.find("core0.l1.hits 7"), std::string::npos);
+}
+
+TEST(StatGroup, DumpsLazyValues)
+{
+    int calls = 0;
+    StatGroup g("chip");
+    g.addValue("ipc", [&] {
+        ++calls;
+        return 1.5;
+    });
+    EXPECT_EQ(calls, 0); // lazy until dumped
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(calls, 1);
+    EXPECT_NE(os.str().find("chip.ipc 1.5"), std::string::npos);
 }
 
 } // namespace
