@@ -23,17 +23,25 @@ main(int argc, char **argv)
     const double scale = scaleFromArgs(argc, argv, 0.5);
 
     const char *benches[] = {"WP", "TRA", "BFS", "MUM", "SS", "MM"};
+    const std::size_t per = std::size(benches);
+    // Flatten (bench, allocator) pairs: even index = round-robin,
+    // odd = oldest-first.
+    const auto ipcs = sweepMap(per * 2, [&](std::size_t i) {
+        const auto prof =
+            scaleWorkload(findWorkload(benches[i / 2]), scale);
+        ChipParams p = makeConfig(ConfigId::CP_DOR_2VC);
+        if (i % 2 == 1)
+            p.mesh.agePriority = true;
+        return runWorkload(p, prof).ipc;
+    });
+
     std::printf("\n%-6s %12s %12s %10s\n", "bench", "RR iSLIP",
                 "oldest-first", "delta");
-    for (const char *b : benches) {
-        const auto prof = scaleWorkload(findWorkload(b), scale);
-        ChipParams rr = makeConfig(ConfigId::CP_DOR_2VC);
-        ChipParams age = rr;
-        age.mesh.agePriority = true;
-        const auto r1 = runWorkload(rr, prof);
-        const auto r2 = runWorkload(age, prof);
-        std::printf("%-6s %12.1f %12.1f %9s\n", b, r1.ipc, r2.ipc,
-                    pct(r2.ipc / r1.ipc).c_str());
+    for (std::size_t b = 0; b < per; ++b) {
+        const double rr = ipcs[b * 2];
+        const double age = ipcs[b * 2 + 1];
+        std::printf("%-6s %12.1f %12.1f %9s\n", benches[b], rr, age,
+                    pct(age / rr).c_str());
     }
     std::printf("\nexpected: small deltas; oldest-first evens out "
                 "per-core progress on placement-sensitive benchmarks "

@@ -22,10 +22,12 @@ main(int argc, char **argv)
     auto p4 = makeConfig(ConfigId::CP_CR_4VC);
     p4.mesh.halfPipelineDepth = 4;
 
-    std::fprintf(stderr, "[bench] 3-stage half-routers\n");
-    const auto r3 = runSuite(p3, scale);
-    std::fprintf(stderr, "[bench] 4-stage half-routers\n");
-    const auto r4 = runSuite(p4, scale);
+    std::fprintf(stderr,
+                 "[bench] 3- and 4-stage half-routers (%u threads)\n",
+                 sweepThreads());
+    const auto runs = suites(std::vector<ChipParams>{p3, p4}, scale);
+    const auto &r3 = runs[0];
+    const auto &r4 = runs[1];
 
     printSpeedupSeries("3-stage vs 4-stage", r4, r3);
     std::printf("\nexpected: within ~1-2%% on every benchmark.\n");

@@ -23,15 +23,22 @@ main(int argc, char **argv)
         std::printf(" %10s", b);
     std::printf("   (IPC)\n");
 
-    for (unsigned bytes : {64u, 256u, 1024u, 4096u}) {
-        std::printf("%-12u", bytes);
-        for (const char *b : benches) {
+    const unsigned grains[] = {64u, 256u, 1024u, 4096u};
+    const std::size_t per = std::size(benches);
+    const auto ipcs =
+        sweepMap(std::size(grains) * per, [&](std::size_t i) {
             ChipParams p = makeConfig(ConfigId::BASELINE_TB_DOR);
-            p.mc.interleaveBytes = bytes;
-            const auto r =
-                runWorkload(p, scaleWorkload(findWorkload(b), scale));
-            std::printf(" %10.1f", r.ipc);
-        }
+            p.mc.interleaveBytes = grains[i / per];
+            const auto prof =
+                scaleWorkload(findWorkload(benches[i % per]), scale);
+            return runWorkload(p, prof).ipc;
+        });
+
+    std::size_t idx = 0;
+    for (unsigned bytes : grains) {
+        std::printf("%-12u", bytes);
+        for (std::size_t b = 0; b < per; ++b)
+            std::printf(" %10.1f", ipcs[idx++]);
         std::printf("\n");
     }
     std::printf("\nexpected: coarse interleaving creates temporary "

@@ -40,18 +40,25 @@ main(int argc, char **argv)
         std::printf(" %8s", b);
     std::printf("   (IPC)\n");
 
-    for (const auto &v : variants) {
-        std::printf("%-24s", v.name);
-        for (const char *b : benches) {
+    const std::size_t per = std::size(benches);
+    const auto ipcs =
+        sweepMap(std::size(variants) * per, [&](std::size_t i) {
+            const Variant &v = variants[i / per];
             ChipParams p = makeConfig(ConfigId::BASELINE_TB_DOR);
             if (!v.mcs.empty()) {
                 p.mesh.topo.placement = McPlacement::CUSTOM;
                 p.mesh.topo.customMcs = v.mcs;
             }
-            const auto r =
-                runWorkload(p, scaleWorkload(findWorkload(b), scale));
-            std::printf(" %8.1f", r.ipc);
-        }
+            const auto prof =
+                scaleWorkload(findWorkload(benches[i % per]), scale);
+            return runWorkload(p, prof).ipc;
+        });
+
+    std::size_t idx = 0;
+    for (const auto &v : variants) {
+        std::printf("%-24s", v.name);
+        for (std::size_t b = 0; b < per; ++b)
+            std::printf(" %8.1f", ipcs[idx++]);
         std::printf("\n");
     }
     std::printf("\nexpected: staggered placements beat top-bottom on "

@@ -35,28 +35,36 @@ main()
         {"Checkerboard (half routers)", "cr", true},
     };
 
-    std::printf("\n%-30s %14s %14s %16s\n", "algorithm", "lat @0.03",
-                "lat @0.06", "saturation rate");
-    for (const auto &a : algos) {
+    struct Point
+    {
+        double lat3 = 0.0;
+        double lat6 = 0.0;
+        double sat = 0.0;
+    };
+    const auto points = sweepMap(std::size(algos), [&](std::size_t i) {
+        const Algo &a = algos[i];
         OpenLoopParams p;
         p.seed = 99;
         p.net.routing = a.routing;
         p.net.topo.placement = McPlacement::CHECKERBOARD;
         p.net.topo.checkerboardRouters = a.checkerboard;
-        double lat3 = 0.0;
-        double lat6 = 0.0;
-        {
-            p.injectionRate = 0.03;
-            lat3 = runOpenLoop(p).avgLatency;
-            p.injectionRate = 0.06;
-            lat6 = runOpenLoop(p).avgLatency;
-        }
+        Point pt;
+        p.injectionRate = 0.03;
+        pt.lat3 = runOpenLoop(p).avgLatency;
+        p.injectionRate = 0.06;
+        pt.lat6 = runOpenLoop(p).avgLatency;
         const auto sweep = sweepOpenLoop(p, 0.02, 0.01, 0.15);
-        double sat = 0.15;
+        pt.sat = 0.15;
         if (!sweep.empty() && sweep.back().saturated)
-            sat = sweep.back().offeredLoad;
-        std::printf("%-30s %14.1f %14.1f %16.3f\n", a.name, lat3, lat6,
-                    sat);
+            pt.sat = sweep.back().offeredLoad;
+        return pt;
+    });
+
+    std::printf("\n%-30s %14s %14s %16s\n", "algorithm", "lat @0.03",
+                "lat @0.06", "saturation rate");
+    for (std::size_t i = 0; i < std::size(algos); ++i) {
+        std::printf("%-30s %14.1f %14.1f %16.3f\n", algos[i].name,
+                    points[i].lat3, points[i].lat6, points[i].sat);
     }
     std::printf("\nexpected: the minimal schemes saturate together "
                 "(terminal-bandwidth-bound many-to-few traffic); "

@@ -17,26 +17,42 @@ main()
     banner("Ablation - VC buffer depth (open loop)",
            "deeper buffers absorb bursts; Table III baseline is 8");
 
-    for (const char *which : {"TB-DOR", "CP-CR"}) {
+    struct Point
+    {
+        double lowLatency = 0.0;
+        double saturation = 0.0;
+    };
+    const char *nets[] = {"TB-DOR", "CP-CR"};
+    const unsigned depths[] = {2u, 4u, 8u, 16u, 32u};
+    const std::size_t per_net = std::size(depths);
+    const auto points =
+        sweepMap(std::size(nets) * per_net, [&](std::size_t i) {
+            ChipParams cp = makeConfig(
+                i / per_net == 0 ? ConfigId::BASELINE_TB_DOR
+                                 : ConfigId::CP_CR_4VC);
+            OpenLoopParams p;
+            p.net = cp.mesh;
+            p.net.vcDepth = depths[i % per_net];
+            p.injectionRate = 0.04;
+            p.seed = 77;
+            Point pt;
+            pt.lowLatency = runOpenLoop(p).avgLatency;
+            const auto sweep = sweepOpenLoop(p, 0.02, 0.01, 0.16);
+            pt.saturation = 0.16;
+            if (!sweep.empty() && sweep.back().saturated)
+                pt.saturation = sweep.back().offeredLoad;
+            return pt;
+        });
+
+    std::size_t idx = 0;
+    for (const char *which : nets) {
         std::printf("\n--- %s ---\n", which);
         std::printf("%-8s %14s %16s\n", "depth", "lat @0.04",
                     "saturation rate");
-        for (unsigned depth : {2u, 4u, 8u, 16u, 32u}) {
-            ChipParams cp = makeConfig(
-                std::string(which) == "TB-DOR"
-                    ? ConfigId::BASELINE_TB_DOR : ConfigId::CP_CR_4VC);
-            OpenLoopParams p;
-            p.net = cp.mesh;
-            p.net.vcDepth = depth;
-            p.injectionRate = 0.04;
-            p.seed = 77;
-            const auto low = runOpenLoop(p);
-            const auto sweep = sweepOpenLoop(p, 0.02, 0.01, 0.16);
-            double sat = 0.16;
-            if (!sweep.empty() && sweep.back().saturated)
-                sat = sweep.back().offeredLoad;
-            std::printf("%-8u %14.1f %16.3f\n", depth, low.avgLatency,
-                        sat);
+        for (unsigned depth : depths) {
+            const Point &pt = points[idx++];
+            std::printf("%-8u %14.1f %16.3f\n", depth, pt.lowLatency,
+                        pt.saturation);
         }
     }
     std::printf("\nexpected: latency at low load is depth-insensitive; "

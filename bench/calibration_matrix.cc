@@ -20,13 +20,20 @@ main(int argc, char **argv)
            "combined +17%, IPC/mm^2 +25.4%");
     const double scale = scaleFromArgs(argc, argv, 0.5);
 
-    const auto base = suite(ConfigId::BASELINE_TB_DOR, scale);
-    const auto perf = suite(ConfigId::PERFECT, scale);
-    const auto two = suite(ConfigId::TB_DOR_2X, scale);
-    const auto cp = suite(ConfigId::CP_DOR_2VC, scale);
-    const auto dbl = suite(ConfigId::CP_CR_DOUBLE, scale);
-    const auto thr = suite(ConfigId::THROUGHPUT_EFFECTIVE, scale);
-    const auto sgl = suite(ConfigId::CP_CR_2INJ_SINGLE, scale);
+    const auto runs = suites({ConfigId::BASELINE_TB_DOR,
+                              ConfigId::PERFECT,
+                              ConfigId::TB_DOR_2X,
+                              ConfigId::CP_DOR_2VC,
+                              ConfigId::CP_CR_DOUBLE,
+                              ConfigId::THROUGHPUT_EFFECTIVE,
+                              ConfigId::CP_CR_2INJ_SINGLE}, scale);
+    const auto &base = runs[0];
+    const auto &perf = runs[1];
+    const auto &two = runs[2];
+    const auto &cp = runs[3];
+    const auto &dbl = runs[4];
+    const auto &thr = runs[5];
+    const auto &sgl = runs[6];
 
     auto sp = [](const SuiteRun &b, const SuiteRun &t) {
         return 100.0 * (t.result.ipc / b.result.ipc - 1.0);

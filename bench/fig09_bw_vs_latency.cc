@@ -20,9 +20,12 @@ main(int argc, char **argv)
         telemetry::parseTelemetryFlags(argc, argv);
     const double scale = scaleFromArgs(argc, argv);
 
-    const auto base = suite(ConfigId::BASELINE_TB_DOR, scale);
-    const auto two = suite(ConfigId::TB_DOR_2X, scale);
-    const auto fast = suite(ConfigId::TB_DOR_1CYC, scale);
+    const auto runs = suites({ConfigId::BASELINE_TB_DOR,
+                              ConfigId::TB_DOR_2X,
+                              ConfigId::TB_DOR_1CYC}, scale);
+    const auto &base = runs[0];
+    const auto &two = runs[1];
+    const auto &fast = runs[2];
 
     const auto sp2 = speedups(base, two);
     const auto spf = speedups(base, fast);

@@ -16,8 +16,10 @@ main(int argc, char **argv)
            "+13.2% HM; WP loses ~6% to global-fairness effects");
     const double scale = scaleFromArgs(argc, argv);
 
-    const auto tb = suite(ConfigId::BASELINE_TB_DOR, scale);
-    const auto cp = suite(ConfigId::CP_DOR_2VC, scale);
+    const auto runs = suites({ConfigId::BASELINE_TB_DOR,
+                              ConfigId::CP_DOR_2VC}, scale);
+    const auto &tb = runs[0];
+    const auto &cp = runs[1];
 
     printSpeedupSeries("CP vs TB", tb, cp);
     printClassMeans(tb, cp);

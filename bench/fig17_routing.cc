@@ -18,9 +18,12 @@ main(int argc, char **argv)
            "CP-CR-4VC within ~1.1% of CP-DOR-2VC");
     const double scale = scaleFromArgs(argc, argv);
 
-    const auto dor2 = suite(ConfigId::CP_DOR_2VC, scale);
-    const auto dor4 = suite(ConfigId::CP_DOR_4VC, scale);
-    const auto cr4 = suite(ConfigId::CP_CR_4VC, scale);
+    const auto runs = suites({ConfigId::CP_DOR_2VC,
+                              ConfigId::CP_DOR_4VC,
+                              ConfigId::CP_CR_4VC}, scale);
+    const auto &dor2 = runs[0];
+    const auto &dor4 = runs[1];
+    const auto &cr4 = runs[2];
 
     const auto sp4 = speedups(dor2, dor4);
     const auto spc = speedups(dor2, cr4);

@@ -17,8 +17,10 @@ main(int argc, char **argv)
            "paper: ~0% average change (+1%), range -7% to +14%");
     const double scale = scaleFromArgs(argc, argv);
 
-    const auto single = suite(ConfigId::CP_CR_SINGLE_16B_4VC, scale);
-    const auto dbl = suite(ConfigId::CP_CR_DOUBLE, scale);
+    const auto runs = suites({ConfigId::CP_CR_SINGLE_16B_4VC,
+                              ConfigId::CP_CR_DOUBLE}, scale);
+    const auto &single = runs[0];
+    const auto &dbl = runs[1];
 
     printSpeedupSeries("double vs single", single, dbl);
     printClassMeans(single, dbl);

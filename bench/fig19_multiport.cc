@@ -19,10 +19,14 @@ main(int argc, char **argv)
            "compose");
     const double scale = scaleFromArgs(argc, argv);
 
-    const auto dbl = suite(ConfigId::CP_CR_DOUBLE, scale);
-    const auto inj = suite(ConfigId::CP_CR_DOUBLE_2INJ, scale);
-    const auto ej = suite(ConfigId::CP_CR_DOUBLE_2EJ, scale);
-    const auto both = suite(ConfigId::CP_CR_DOUBLE_2INJ2EJ, scale);
+    const auto runs = suites({ConfigId::CP_CR_DOUBLE,
+                              ConfigId::CP_CR_DOUBLE_2INJ,
+                              ConfigId::CP_CR_DOUBLE_2EJ,
+                              ConfigId::CP_CR_DOUBLE_2INJ2EJ}, scale);
+    const auto &dbl = runs[0];
+    const auto &inj = runs[1];
+    const auto &ej = runs[2];
+    const auto &both = runs[3];
 
     const auto spi = speedups(dbl, inj);
     const auto spe = speedups(dbl, ej);

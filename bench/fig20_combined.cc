@@ -23,10 +23,14 @@ main(int argc, char **argv)
            "+17% HM IPC; +25.4% IPC/mm^2 vs the balanced mesh");
     const double scale = scaleFromArgs(argc, argv);
 
-    const auto base = suite(ConfigId::BASELINE_TB_DOR, scale);
-    const auto thr = suite(ConfigId::THROUGHPUT_EFFECTIVE, scale);
-    const auto sgl = suite(ConfigId::CP_CR_2INJ_SINGLE, scale);
-    const auto perf = suite(ConfigId::PERFECT, scale);
+    const auto runs = suites({ConfigId::BASELINE_TB_DOR,
+                              ConfigId::THROUGHPUT_EFFECTIVE,
+                              ConfigId::CP_CR_2INJ_SINGLE,
+                              ConfigId::PERFECT}, scale);
+    const auto &base = runs[0];
+    const auto &thr = runs[1];
+    const auto &sgl = runs[2];
+    const auto &perf = runs[3];
 
     const auto spt = speedups(base, thr);
     const auto sps = speedups(base, sgl);

@@ -54,7 +54,34 @@ main(int argc, char **argv)
         {"2x-TB-DOR", netFor(ConfigId::TB_DOR_2X)},
     };
 
-    for (double hotspot : {0.0, 0.2}) {
+    // Every (hotspot, rate, curve) point is an independent open-loop
+    // simulation; flatten them and fan out over the sweep pool, then
+    // print in the original order.
+    const double hotspots[] = {0.0, 0.2};
+    std::vector<double> rates;
+    for (double rate = 0.01; rate <= 0.1301; rate += 0.01)
+        rates.push_back(rate);
+    const std::size_t n_curves = std::size(curves);
+    const std::size_t per_hotspot = rates.size() * n_curves;
+    const auto results =
+        sweepMap(std::size(hotspots) * per_hotspot, [&](std::size_t i) {
+            const double hotspot = hotspots[i / per_hotspot];
+            const std::size_t j = i % per_hotspot;
+            const auto &c = curves[j % n_curves];
+            OpenLoopParams p;
+            p.net = c.net;
+            p.injectionRate = rates[j / n_curves];
+            p.hotspotFraction = hotspot;
+            p.seed = 2024;
+            // Packet sizes in flits follow the channel width
+            // (8-byte requests, 64-byte replies).
+            p.requestFlits = flitsForBytes(8, p.net.flitBytes);
+            p.replyFlits = flitsForBytes(64, p.net.flitBytes);
+            return runOpenLoop(p);
+        });
+
+    std::size_t idx = 0;
+    for (double hotspot : hotspots) {
         std::printf("\n--- %s many-to-few-to-many (%s) ---\n",
                     hotspot == 0.0 ? "Uniform random" : "Hotspot",
                     hotspot == 0.0 ? "Fig. 21(a)"
@@ -65,19 +92,10 @@ main(int argc, char **argv)
         for (const auto &c : curves)
             std::printf(" %12s", c.label);
         std::printf("\n");
-        for (double rate = 0.01; rate <= 0.1301; rate += 0.01) {
+        for (double rate : rates) {
             std::printf("%-10.3f |", rate);
-            for (const auto &c : curves) {
-                OpenLoopParams p;
-                p.net = c.net;
-                p.injectionRate = rate;
-                p.hotspotFraction = hotspot;
-                p.seed = 2024;
-                // Packet sizes in flits follow the channel width
-                // (8-byte requests, 64-byte replies).
-                p.requestFlits = flitsForBytes(8, p.net.flitBytes);
-                p.replyFlits = flitsForBytes(64, p.net.flitBytes);
-                const auto r = runOpenLoop(p);
+            for (std::size_t ci = 0; ci < n_curves; ++ci) {
+                const auto &r = results[idx++];
                 if (r.saturated)
                     std::printf(" %12s", "sat");
                 else

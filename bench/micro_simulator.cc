@@ -59,7 +59,7 @@ BM_MeshCycleLoaded(benchmark::State &state)
     for (auto _ : state) {
         for (NodeId core : topo.computeNodes()) {
             if (rng.nextBool(0.05) && net.canInject(core, 0)) {
-                auto pkt = std::make_shared<Packet>();
+                auto pkt = makePacket();
                 pkt->src = core;
                 pkt->dst = rng.pick(topo.mcNodes());
                 pkt->sizeFlits = 1;

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Simulator speed microbenchmark: interconnect cycles per second and
+ * flit-hops per second on the 6x6 baseline mesh, at low load and at
+ * saturation, with the idle-skip scheduler against the reference
+ * tick-everything scheduler.  Writes BENCH_noc_speed.json so the
+ * simulator's performance trajectory is tracked across commits (see
+ * docs/performance.md).
+ *
+ * Both schedulers are driven with the identical seeded workload, so
+ * the run doubles as a cheap equivalence check: the benchmark fails if
+ * the two modes diverge on any network statistic it samples.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "accel/experiments.hh"
+#include "common/rng.hh"
+#include "noc/mesh_network.hh"
+#include "telemetry/json.hh"
+
+namespace
+{
+
+using namespace tenoc;
+
+struct SpeedPoint
+{
+    double load = 0.0;
+    bool idleSkip = false;
+    std::uint64_t cycles = 0;
+    std::uint64_t hops = 0;
+    std::uint64_t packets = 0;
+    double wallSeconds = 0.0;
+    double cyclesPerSec = 0.0;
+    double hopsPerSec = 0.0;
+};
+
+/** Discards ejected packets without backpressure. */
+struct NullSink : PacketSink
+{
+    bool tryReserve(const Packet &) override { return true; }
+    void deliver(PacketPtr, Cycle) override {}
+};
+
+/**
+ * Runs `cycles` interconnect cycles of many-to-few request traffic
+ * (each compute node injects a 1-flit packet to a random MC with
+ * probability `load` per cycle) and times the loop.
+ */
+SpeedPoint
+runPoint(bool idle_skip, double load, Cycle cycles)
+{
+    MeshNetworkParams p; // defaults = 6x6 Table III baseline
+    p.idleSkip = idle_skip;
+    MeshNetwork net(p);
+    NullSink sink;
+    const auto &topo = net.topology();
+    for (NodeId n = 0; n < topo.numNodes(); ++n)
+        net.setSink(n, &sink);
+
+    Rng rng(7);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (Cycle now = 0; now < cycles; ++now) {
+        for (NodeId core : topo.computeNodes()) {
+            if (rng.nextBool(load) && net.canInject(core, 0)) {
+                auto pkt = makePacket();
+                pkt->src = core;
+                pkt->dst = rng.pick(topo.mcNodes());
+                pkt->sizeFlits = 1;
+                pkt->sizeBytes = p.flitBytes;
+                net.inject(std::move(pkt), now);
+            }
+        }
+        net.cycle(now);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    SpeedPoint pt;
+    pt.load = load;
+    pt.idleSkip = idle_skip;
+    pt.cycles = cycles;
+    for (NodeId n = 0; n < topo.numNodes(); ++n)
+        pt.hops += net.router(n).flitsTraversed();
+    pt.packets = net.stats().packetsEjected;
+    pt.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    if (pt.wallSeconds > 0.0) {
+        pt.cyclesPerSec = static_cast<double>(cycles) / pt.wallSeconds;
+        pt.hopsPerSec = static_cast<double>(pt.hops) / pt.wallSeconds;
+    }
+    return pt;
+}
+
+telemetry::JsonValue
+pointJson(const SpeedPoint &pt)
+{
+    using telemetry::JsonValue;
+    JsonValue v = JsonValue::makeObject();
+    v.set("load", JsonValue(pt.load));
+    v.set("scheduler", JsonValue(pt.idleSkip ? "idle_skip"
+                                             : "full_tick"));
+    v.set("icnt_cycles", JsonValue(pt.cycles));
+    v.set("flit_hops", JsonValue(pt.hops));
+    v.set("packets_ejected", JsonValue(pt.packets));
+    v.set("wall_seconds", JsonValue(pt.wallSeconds));
+    v.set("icnt_cycles_per_second", JsonValue(pt.cyclesPerSec));
+    v.set("flit_hops_per_second", JsonValue(pt.hopsPerSec));
+    return v;
+}
+
+void
+printPoint(const char *label, const SpeedPoint &pt)
+{
+    std::printf("  %-10s %-10s %12.3e cycles/s %12.3e hops/s "
+                "(%.2fs wall)\n",
+                label, pt.idleSkip ? "idle-skip" : "full-tick",
+                pt.cyclesPerSec, pt.hopsPerSec, pt.wallSeconds);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tenoc;
+
+    // TENOC_SCALE (or argv[1]) shortens the run for CI smoke tests.
+    double scale = envScale(1.0);
+    if (argc > 1) {
+        const double v = std::atof(argv[1]);
+        if (v > 0.0)
+            scale = v;
+    }
+    const auto low_cycles =
+        static_cast<Cycle>(200000 * scale);
+    const auto sat_cycles =
+        static_cast<Cycle>(50000 * scale);
+
+    std::printf("noc_speed: 6x6 baseline mesh, idle-skip vs "
+                "full-tick scheduler (scale %.2f)\n", scale);
+
+    const double LOW_LOAD = 0.005;
+    const double SAT_LOAD = 0.20; // far past many-to-few saturation
+    const auto low_ref = runPoint(false, LOW_LOAD, low_cycles);
+    const auto low_skip = runPoint(true, LOW_LOAD, low_cycles);
+    const auto sat_ref = runPoint(false, SAT_LOAD, sat_cycles);
+    const auto sat_skip = runPoint(true, SAT_LOAD, sat_cycles);
+
+    // Both modes ran the identical seeded workload; any statistical
+    // divergence means the idle-skip scheduler is broken.
+    if (low_ref.hops != low_skip.hops ||
+        low_ref.packets != low_skip.packets ||
+        sat_ref.hops != sat_skip.hops ||
+        sat_ref.packets != sat_skip.packets) {
+        std::fprintf(stderr, "noc_speed: idle-skip diverged from the "
+                             "reference scheduler!\n");
+        return 1;
+    }
+
+    std::printf("\nlow load (%.3f flits/node/cycle):\n", LOW_LOAD);
+    printPoint("", low_ref);
+    printPoint("", low_skip);
+    const double low_speedup = low_ref.cyclesPerSec > 0.0
+        ? low_skip.cyclesPerSec / low_ref.cyclesPerSec : 0.0;
+    std::printf("  idle-skip speedup: %.2fx\n", low_speedup);
+
+    std::printf("\nsaturation (offered %.2f flits/node/cycle):\n",
+                SAT_LOAD);
+    printPoint("", sat_ref);
+    printPoint("", sat_skip);
+    const double sat_speedup = sat_ref.cyclesPerSec > 0.0
+        ? sat_skip.cyclesPerSec / sat_ref.cyclesPerSec : 0.0;
+    std::printf("  idle-skip speedup: %.2fx\n", sat_speedup);
+
+    using telemetry::JsonValue;
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("benchmark", JsonValue("noc_speed"));
+    doc.set("topology", JsonValue("6x6"));
+    doc.set("scale", JsonValue(scale));
+    JsonValue points = JsonValue::makeArray();
+    for (const auto &pt : {low_ref, low_skip, sat_ref, sat_skip})
+        points.push(pointJson(pt));
+    doc.set("points", points);
+    doc.set("low_load_speedup", JsonValue(low_speedup));
+    doc.set("saturation_speedup", JsonValue(sat_speedup));
+    std::ofstream os("BENCH_noc_speed.json");
+    doc.write(os);
+    os << "\n";
+    std::printf("\nwrote BENCH_noc_speed.json\n");
+    return 0;
+}

@@ -75,7 +75,7 @@ main()
     };
     Cycle now = 0;
     for (const auto &pr : pairs) {
-        auto pkt = std::make_shared<Packet>();
+        auto pkt = makePacket();
         pkt->src = topo.nodeAt(pr.sx, pr.sy);
         pkt->dst = topo.nodeAt(pr.dx, pr.dy);
         pkt->op = MemOp::READ_REPLY;

@@ -43,7 +43,7 @@ class Chip::CorePort : public CoreMemPort
     void
     send(MemOp op, Addr line)
     {
-        auto pkt = std::make_shared<Packet>();
+        auto pkt = makePacket();
         pkt->src = node_;
         pkt->op = op;
         pkt->protoClass = 0;

@@ -104,7 +104,7 @@ McNode::icntCycle(Cycle icnt_now)
     const auto res = l2_.access(pkt->addr, is_write);
     if (res.hit) {
         if (!is_write) {
-            auto reply = std::make_shared<Packet>();
+            auto reply = makePacket();
             reply->src = node_;
             reply->dst = pkt->src;
             reply->op = MemOp::READ_REPLY;
@@ -157,7 +157,7 @@ McNode::memCycle(Cycle mem_now)
             continue; // writes are fire-and-forget
         if (const auto victim = l2_.fill(meta.addr, false))
             l2_writebacks_.push_back(*victim);
-        auto reply = std::make_shared<Packet>();
+        auto reply = makePacket();
         reply->src = node_;
         reply->dst = meta.requester;
         reply->op = MemOp::READ_REPLY;

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Freelist object pools for hot-path allocation.
+ *
+ * FreeListPool hands out raw objects from chunked storage and recycles
+ * them through a freelist, so steady-state simulation performs no heap
+ * allocation per object.  It is deliberately NOT thread-safe: each
+ * simulation (and therefore each parallel-sweep worker, see
+ * bench/sweep.hh) owns its objects end to end, so pools are accessed
+ * through thread_local instances and objects must never migrate
+ * between threads.
+ */
+
+#ifndef TENOC_COMMON_POOL_HH
+#define TENOC_COMMON_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace tenoc
+{
+
+/**
+ * Chunked freelist pool.  allocate() returns an object in an
+ * unspecified state (freshly default-constructed for new chunks,
+ * last-released state for recycled ones); callers reset fields
+ * themselves.  release() must only be called with pointers obtained
+ * from the same pool.
+ */
+template <typename T>
+class FreeListPool
+{
+  public:
+    explicit FreeListPool(std::size_t chunk_objects = 256)
+        : chunk_objects_(chunk_objects ? chunk_objects : 1)
+    {}
+
+    FreeListPool(const FreeListPool &) = delete;
+    FreeListPool &operator=(const FreeListPool &) = delete;
+
+    /** Takes an object from the freelist, growing storage if empty. */
+    T *
+    allocate()
+    {
+        if (free_.empty())
+            grow();
+        T *obj = free_.back();
+        free_.pop_back();
+        return obj;
+    }
+
+    /** Returns an object to the freelist for reuse. */
+    void
+    release(T *obj)
+    {
+        free_.push_back(obj);
+    }
+
+    /** Objects currently live (allocated and not yet released). */
+    std::size_t
+    liveObjects() const
+    {
+        return chunks_.size() * chunk_objects_ - free_.size();
+    }
+
+    /** Total objects ever materialized (capacity high-water mark). */
+    std::size_t capacity() const { return chunks_.size() * chunk_objects_; }
+
+  private:
+    void
+    grow()
+    {
+        chunks_.push_back(std::make_unique<T[]>(chunk_objects_));
+        T *base = chunks_.back().get();
+        free_.reserve(free_.size() + chunk_objects_);
+        for (std::size_t i = 0; i < chunk_objects_; ++i)
+            free_.push_back(base + i);
+    }
+
+    std::size_t chunk_objects_;
+    std::vector<std::unique_ptr<T[]>> chunks_;
+    std::vector<T *> free_;
+};
+
+} // namespace tenoc
+
+#endif // TENOC_COMMON_POOL_HH

@@ -23,6 +23,7 @@ InputPort::push(Flit &&flit, Cycle now)
                  flit.vc);
     flit.enqueueCycle = now;
     entry.fifo.push_back(std::move(flit));
+    ++total_;
 }
 
 unsigned
@@ -44,16 +45,8 @@ InputPort::pop(unsigned vc)
     tenoc_assert(!vcs_[vc].fifo.empty(), "pop() on empty VC");
     Flit f = std::move(vcs_[vc].fifo.front());
     vcs_[vc].fifo.pop_front();
+    --total_;
     return f;
-}
-
-std::size_t
-InputPort::totalOccupancy() const
-{
-    std::size_t n = 0;
-    for (const auto &e : vcs_)
-        n += e.fifo.size();
-    return n;
 }
 
 } // namespace tenoc

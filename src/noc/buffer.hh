@@ -68,8 +68,8 @@ class InputPort
     unsigned outVc(unsigned vc) const { return vcs_[vc].outVc; }
     void setOutVc(unsigned vc, unsigned v) { vcs_[vc].outVc = v; }
 
-    /** Total flits buffered across all VCs. */
-    std::size_t totalOccupancy() const;
+    /** Total flits buffered across all VCs (O(1), kept by push/pop). */
+    std::size_t totalOccupancy() const { return total_; }
 
   private:
     struct VcEntry
@@ -82,6 +82,7 @@ class InputPort
 
     unsigned depth_;
     std::vector<VcEntry> vcs_;
+    std::size_t total_ = 0;
 };
 
 } // namespace tenoc

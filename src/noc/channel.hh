@@ -17,6 +17,7 @@
 
 #include "common/log.hh"
 #include "common/types.hh"
+#include "noc/activity.hh"
 
 namespace tenoc
 {
@@ -33,6 +34,18 @@ class Channel
 
     Cycle latency() const { return latency_; }
 
+    /**
+     * Registers the receiving component in its network's active set so
+     * every send wakes it (idle-skip scheduling).  Optional: channels
+     * without a wake target behave as before.
+     */
+    void
+    setWakeTarget(ActiveSet *set, unsigned index)
+    {
+        wake_set_ = set;
+        wake_idx_ = index;
+    }
+
     /** Sends an item at cycle `now`; it arrives at now + latency. */
     void
     send(T item, Cycle now)
@@ -41,6 +54,8 @@ class Channel
                      "channel accepts at most one item per cycle");
         last_send_ = now;
         queue_.emplace_back(now + latency_, std::move(item));
+        if (wake_set_)
+            wake_set_->mark(wake_idx_);
     }
 
     /** @return the next item if it has arrived by cycle `now`. */
@@ -60,10 +75,21 @@ class Channel
     /** Number of items in flight. */
     std::size_t inFlight() const { return queue_.size(); }
 
+    /** Delivery cycle of the earliest in-flight item (the channel is
+     *  FIFO with constant latency, so the front is the earliest);
+     *  INVALID_CYCLE when empty. */
+    Cycle
+    earliestArrival() const
+    {
+        return queue_.empty() ? INVALID_CYCLE : queue_.front().first;
+    }
+
   private:
     Cycle latency_;
     Cycle last_send_ = INVALID_CYCLE;
     std::deque<std::pair<Cycle, T>> queue_;
+    ActiveSet *wake_set_ = nullptr;
+    unsigned wake_idx_ = 0;
 };
 
 /** Credit message: one freed buffer slot on a given VC. */

@@ -12,6 +12,21 @@
 namespace tenoc
 {
 
+FreeListPool<Packet> &
+packetPool()
+{
+    thread_local FreeListPool<Packet> pool;
+    return pool;
+}
+
+PacketPtr
+makePacket()
+{
+    Packet *p = packetPool().allocate();
+    *p = Packet{}; // recycled objects carry their previous state
+    return PacketPtr(p);
+}
+
 int
 Packet::routeClass() const
 {

@@ -13,9 +13,10 @@
 #define TENOC_NOC_FLIT_HH
 
 #include <cstdint>
-#include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/pool.hh"
 #include "common/types.hh"
 
 namespace tenoc
@@ -30,7 +31,11 @@ enum class RouteMode : std::uint8_t
 };
 
 /**
- * One network packet.  Owned via shared_ptr; flits reference it.
+ * One network packet.  Owned via PacketPtr (an intrusive, non-atomic
+ * refcount over a thread_local freelist pool); flits reference it.
+ * Packets therefore must not be shared across threads — each parallel
+ * sweep point (bench/sweep.hh) runs its whole simulation on one
+ * worker thread, which guarantees this by construction.
  */
 struct Packet
 {
@@ -59,9 +64,116 @@ struct Packet
 
     /** Current routing class: 0 for an XY leg, 1 for a YX leg. */
     int routeClass() const;
+
+    /** Intrusive reference count (managed by PacketPtr; not atomic —
+     *  see the struct comment on thread confinement). */
+    std::uint32_t refCount = 0;
 };
 
-using PacketPtr = std::shared_ptr<Packet>;
+/** The thread-local packet pool backing makePacket(). */
+FreeListPool<Packet> &packetPool();
+
+/**
+ * Intrusive smart pointer for pooled packets.  Copying bumps a plain
+ * (non-atomic) counter; the last owner returns the packet to the
+ * thread-local pool.  API mirrors the shared_ptr subset the simulator
+ * uses (get/reset/bool/deref/compare).
+ */
+class PacketPtr
+{
+  public:
+    PacketPtr() = default;
+    PacketPtr(std::nullptr_t) {}
+
+    /** Adopts a pooled packet; the pointer holds one new reference. */
+    explicit PacketPtr(Packet *p) : p_(p)
+    {
+        if (p_)
+            ++p_->refCount;
+    }
+
+    PacketPtr(const PacketPtr &o) : p_(o.p_)
+    {
+        if (p_)
+            ++p_->refCount;
+    }
+
+    PacketPtr(PacketPtr &&o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+
+    PacketPtr &
+    operator=(const PacketPtr &o)
+    {
+        if (this != &o) {
+            drop();
+            p_ = o.p_;
+            if (p_)
+                ++p_->refCount;
+        }
+        return *this;
+    }
+
+    PacketPtr &
+    operator=(PacketPtr &&o) noexcept
+    {
+        if (this != &o) {
+            drop();
+            p_ = o.p_;
+            o.p_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~PacketPtr() { drop(); }
+
+    Packet *get() const { return p_; }
+    Packet &operator*() const { return *p_; }
+    Packet *operator->() const { return p_; }
+    explicit operator bool() const { return p_ != nullptr; }
+
+    void
+    reset()
+    {
+        drop();
+        p_ = nullptr;
+    }
+
+    /** Number of PacketPtrs sharing the packet (0 for null). */
+    std::uint32_t use_count() const { return p_ ? p_->refCount : 0; }
+
+    friend bool
+    operator==(const PacketPtr &a, const PacketPtr &b)
+    {
+        return a.p_ == b.p_;
+    }
+    friend bool
+    operator!=(const PacketPtr &a, const PacketPtr &b)
+    {
+        return a.p_ != b.p_;
+    }
+    friend bool
+    operator==(const PacketPtr &a, std::nullptr_t)
+    {
+        return a.p_ == nullptr;
+    }
+    friend bool
+    operator!=(const PacketPtr &a, std::nullptr_t)
+    {
+        return a.p_ != nullptr;
+    }
+
+  private:
+    void
+    drop()
+    {
+        if (p_ && --p_->refCount == 0)
+            packetPool().release(p_);
+    }
+
+    Packet *p_ = nullptr;
+};
+
+/** Allocates a default-initialized packet from the thread-local pool. */
+PacketPtr makePacket();
 
 /** Returns the semantic byte size for a MemOp (8 B header convention). */
 unsigned memOpBytes(MemOp op);

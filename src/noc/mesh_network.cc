@@ -81,6 +81,9 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
         stats_ = owned_stats_.get();
     }
 
+    router_active_.resize(topo_.numNodes());
+    ni_active_.resize(topo_.numNodes());
+
     // Routers.
     routers_.reserve(topo_.numNodes());
     for (NodeId n = 0; n < topo_.numNodes(); ++n) {
@@ -97,6 +100,8 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
         }
         routers_.push_back(
             std::make_unique<Router>(n, topo_, *routing_, rp));
+        routers_[n]->setActivity(&router_active_, n);
+        routers_[n]->setTraversalCounter(&flits_traversed_total_);
     }
 
     // Channels between adjacent routers (one flit + one credit channel
@@ -114,6 +119,10 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
             routers_[n]->connectOutput(dir, fc.get(), cc.get());
             routers_[nb]->connectInput(opposite(dir), fc.get(),
                                        cc.get());
+            // A send wakes whichever router will eventually receive:
+            // flits travel n -> nb, credits return nb -> n.
+            fc->setWakeTarget(&router_active_, nb);
+            cc->setWakeTarget(&router_active_, n);
             flit_channels_.push_back(std::move(fc));
             credit_channels_.push_back(std::move(cc));
         }
@@ -125,6 +134,8 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
         nis_.push_back(std::make_unique<NetworkInterface>(
             n, *routers_[n], vc_map_, params_.ni, *stats_));
         routers_[n]->setEjectionSink(nis_[n].get());
+        nis_[n]->setActivity(&ni_active_, n);
+        nis_[n]->setInFlightCounter(&inflight_);
     }
 }
 
@@ -160,14 +171,39 @@ void
 MeshNetwork::cycle(Cycle now)
 {
     ++stats_->cycles;
-    for (auto &r : routers_)
-        r->readInputs(now);
-    for (auto &ni : nis_)
-        ni->injectPhase(now);
-    for (auto &r : routers_)
-        r->compute(now);
-    for (auto &ni : nis_)
-        ni->drainPhase(now);
+    if (!params_.idleSkip) {
+        // Reference scheduler: tick everything every cycle.
+        for (auto &r : routers_)
+            r->readInputs(now);
+        for (auto &ni : nis_)
+            ni->injectPhase(now);
+        for (auto &r : routers_)
+            r->compute(now);
+        for (auto &ni : nis_)
+            ni->drainPhase(now);
+        return;
+    }
+    // Idle-skip: tick only components that can make progress.  An idle
+    // component performs no state change when ticked (arbiters only
+    // advance on accept()), so skipping it is bit-exact; iteration is
+    // ascending-index, matching the reference sweep order.  Marks made
+    // by one phase (NI injectFlit -> router, router ejectFlit -> NI)
+    // are observed by the later phases of the same cycle because each
+    // forEach reads the live mask.
+    router_active_.forEach(
+        [&](unsigned n) { routers_[n]->readInputs(now); });
+    ni_active_.forEach([&](unsigned n) { nis_[n]->injectPhase(now); });
+    router_active_.forEach([&](unsigned n) {
+        if (routers_[n]->bufferedFlits())
+            routers_[n]->compute(now);
+    });
+    ni_active_.forEach([&](unsigned n) { nis_[n]->drainPhase(now); });
+    // Retire components that ran dry: a retired router/NI is re-marked
+    // by the event that next gives it work (channel send, injection,
+    // ejection), never silently forgotten.
+    router_active_.retireIf(
+        [&](unsigned n) { return !routers_[n]->couldWork(); });
+    ni_active_.retireIf([&](unsigned n) { return nis_[n]->idle(); });
 }
 
 void
@@ -192,11 +228,11 @@ MeshNetwork::attachTelemetryPrefixed(telemetry::TelemetryHub &hub,
                 return static_cast<double>(
                     routers_[i / NUM_DIRS]->linkFlits(i % NUM_DIRS));
             });
+        // Network-level running counter kept by the routers themselves
+        // (Router::setTraversalCounter): sampling is O(1) instead of
+        // re-summing every router per interval.
         sampler->addCounter(prefix + "flits_traversed", [this] {
-            std::uint64_t n = 0;
-            for (const auto &r : routers_)
-                n += r->flitsTraversed();
-            return static_cast<double>(n);
+            return static_cast<double>(flits_traversed_total_);
         });
     }
     if (auto *tracer = hub.tracer()) {
@@ -210,16 +246,10 @@ MeshNetwork::attachTelemetryPrefixed(telemetry::TelemetryHub &hub,
 bool
 MeshNetwork::drained() const
 {
-    for (const auto &r : routers_)
-        if (!r->empty())
-            return false;
-    for (const auto &ni : nis_)
-        if (!ni->idle())
-            return false;
-    for (const auto &c : flit_channels_)
-        if (!c->empty())
-            return false;
-    return true;
+    // Every packet is counted in at NI::enqueue and out when its tail
+    // flit leaves the ejection buffer, so one counter covers injection
+    // queues, router buffers, flit channels and ejection buffers.
+    return inflight_ == 0;
 }
 
 DoubleNetwork::DoubleNetwork(const MeshNetworkParams &base)

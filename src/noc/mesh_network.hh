@@ -37,6 +37,15 @@ struct MeshNetworkParams
     /** Oldest-first switch allocation (global fairness; see
      *  Router::Params::agePriority). */
     bool agePriority = false;
+    /**
+     * Idle-skip scheduling: tick only routers/NIs that can make
+     * progress this cycle (tracked by ActiveSet) instead of sweeping
+     * every component.  Bit-exact with the full sweep — an idle router
+     * performs no state change when ticked — so this is on by default;
+     * turn off to get the reference full-tick scheduler (used by the
+     * equivalence regression and the noc_speed benchmark).
+     */
+    bool idleSkip = true;
     NiParams ni;
     std::uint64_t seed = 1;
 };
@@ -93,6 +102,16 @@ class MeshNetwork : public Network
     std::unique_ptr<NetStats> owned_stats_;
     NetStats *stats_;
     std::uint64_t next_pkt_id_ = 1;
+
+    /** Routers that may have work this cycle (idle-skip). */
+    ActiveSet router_active_;
+    /** NIs with packets queued/in flight or ejection flits buffered. */
+    ActiveSet ni_active_;
+    /** Packets inside the network (enqueue .. tail ejection); makes
+     *  drained() O(1). */
+    std::uint64_t inflight_ = 0;
+    /** Running sum of router switch traversals (telemetry). */
+    std::uint64_t flits_traversed_total_ = 0;
 };
 
 /**

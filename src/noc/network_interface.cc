@@ -55,6 +55,11 @@ NetworkInterface::enqueue(PacketPtr pkt, Cycle now)
     if (pkt->createdCycle == INVALID_CYCLE)
         pkt->createdCycle = now;
     inj_queues_[cls].push_back(std::move(pkt));
+    ++pending_inject_;
+    if (inflight_)
+        ++*inflight_;
+    if (active_set_)
+        active_set_->mark(active_idx_);
 }
 
 bool
@@ -100,6 +105,8 @@ NetworkInterface::refillOne(Cycle now)
 void
 NetworkInterface::injectPhase(Cycle now)
 {
+    if (pending_inject_ == 0)
+        return; // nothing queued and no packet mid-injection
     while (refillOne(now)) {
     }
     const unsigned ports = static_cast<unsigned>(active_.size());
@@ -128,7 +135,13 @@ NetworkInterface::injectPhase(Cycle now)
             if (act.next == act.flits.size()) {
                 ++stats_.packetsInjected;
                 stats_.nodeInjectedBytes[node_] += act.pkt->sizeBytes;
-                act = ActivePacket{};
+                // Reset in place: keep the flit vector's capacity so
+                // the next packet on this (port, VC) lane reuses it.
+                act.pkt.reset();
+                act.flits.clear();
+                act.next = 0;
+                act.valid = false;
+                --pending_inject_;
             }
             vc_rr_[p] = (vc + 1) % vcs;
             break;
@@ -149,11 +162,16 @@ NetworkInterface::ejectFlit(unsigned ej_port, Flit &&flit, Cycle now)
     tenoc_assert(ej_bufs_[ej_port].size() < params_.ejBufferFlits,
                  "ejection buffer overflow at node ", node_);
     ej_bufs_[ej_port].push_back(std::move(flit));
+    ++ej_occupancy_;
+    if (active_set_)
+        active_set_->mark(active_idx_);
 }
 
 void
 NetworkInterface::drainPhase(Cycle now)
 {
+    if (ej_occupancy_ == 0)
+        return;
     for (auto &buf : ej_bufs_) {
         if (buf.empty())
             continue;
@@ -162,6 +180,7 @@ NetworkInterface::drainPhase(Cycle now)
             continue; // node backpressure (e.g. MC queue full)
         Flit flit = std::move(buf.front());
         buf.pop_front();
+        --ej_occupancy_;
         ++stats_.flitsEjected;
         stats_.nodeEjectedFlits[node_] += 1;
         if (flit.head)
@@ -169,6 +188,8 @@ NetworkInterface::drainPhase(Cycle now)
         if (flit.tail) {
             PacketPtr pkt = flit.pkt;
             pkt->ejectedCycle = now;
+            if (inflight_)
+                --*inflight_;
             ++stats_.packetsEjected;
             stats_.nodeEjectedBytes[node_] += pkt->sizeBytes;
             stats_.totalLatency.sample(
@@ -205,17 +226,7 @@ NetworkInterface::drainPhase(Cycle now)
 bool
 NetworkInterface::idle() const
 {
-    for (const auto &q : inj_queues_)
-        if (!q.empty())
-            return false;
-    for (const auto &port : active_)
-        for (const auto &a : port)
-            if (a.valid)
-                return false;
-    for (const auto &b : ej_bufs_)
-        if (!b.empty())
-            return false;
-    return true;
+    return pending_inject_ == 0 && ej_occupancy_ == 0;
 }
 
 } // namespace tenoc

@@ -53,6 +53,18 @@ class NetworkInterface : public EjectionSink
 
     void setSink(PacketSink *sink) { sink_ = sink; }
 
+    /** Registers this NI in its network's active set (idle-skip). */
+    void
+    setActivity(ActiveSet *set, unsigned idx)
+    {
+        active_set_ = set;
+        active_idx_ = idx;
+    }
+
+    /** Points packet arrivals/departures at the owning network's
+     *  in-flight counter, making Network::drained() O(1). */
+    void setInFlightCounter(std::uint64_t *c) { inflight_ = c; }
+
     /** Attaches (or detaches, with nullptr) a flit-event tracer. */
     void setTracer(telemetry::TraceSink *tracer) { tracer_ = tracer; }
 
@@ -97,6 +109,14 @@ class NetworkInterface : public EjectionSink
     NetStats &stats_;
     PacketSink *sink_ = nullptr;
     telemetry::TraceSink *tracer_ = nullptr;
+    ActiveSet *active_set_ = nullptr;
+    unsigned active_idx_ = 0;
+    std::uint64_t *inflight_ = nullptr;
+
+    /** Packets queued or mid-injection (inj queues + active slots). */
+    unsigned pending_inject_ = 0;
+    /** Flits buffered across all ejection ports. */
+    unsigned ej_occupancy_ = 0;
 
     std::vector<std::deque<PacketPtr>> inj_queues_; ///< per class
     /** One in-flight packet per (injection port, VC): removes NI

@@ -21,6 +21,10 @@ Router::Router(NodeId id, const Topology &topo,
     outputs_.resize(numOutputs());
     in_links_.resize(NUM_DIRS);
     sa_input_arb_.assign(numInputs(), RoundRobinArbiter(vcs));
+    va_requests_.resize(numInputs() * vcs);
+    sa_vc_requests_.resize(vcs);
+    sa_out_requests_.resize(numInputs());
+    sa_nominee_.resize(numInputs());
     for (unsigned o = 0; o < numOutputs(); ++o) {
         outputs_[o].vcs.resize(vcs);
         outputs_[o].vaArb.resize(numInputs() * vcs);
@@ -64,6 +68,8 @@ void
 Router::injectFlit(unsigned inj, Flit &&flit, Cycle now)
 {
     inputs_[NUM_DIRS + inj].push(std::move(flit), now);
+    if (active_set_)
+        active_set_->mark(active_idx_);
 }
 
 bool
@@ -161,10 +167,11 @@ void
 Router::vcAllocate(Cycle now)
 {
     const unsigned vcs = numVcs();
+    auto &requests = va_requests_;
     for (unsigned o = 0; o < numOutputs(); ++o) {
         auto &out = outputs_[o];
         // Collect requestors targeting this output.
-        std::vector<bool> requests(numInputs() * vcs, false);
+        requests.assign(numInputs() * vcs, false);
         bool any = false;
         for (unsigned in = 0; in < numInputs(); ++in) {
             for (unsigned vc = 0; vc < vcs; ++vc) {
@@ -219,9 +226,11 @@ Router::switchAllocate(Cycle now)
 {
     const unsigned vcs = numVcs();
     // Input stage: each input port nominates one ready VC.
-    std::vector<unsigned> nominee(numInputs(), vcs);
+    auto &nominee = sa_nominee_;
+    nominee.assign(numInputs(), vcs);
+    auto &requests = sa_vc_requests_;
     for (unsigned in = 0; in < numInputs(); ++in) {
-        std::vector<bool> requests(vcs, false);
+        requests.assign(vcs, false);
         bool any = false;
         for (unsigned vc = 0; vc < vcs; ++vc) {
             auto &port = inputs_[in];
@@ -265,13 +274,14 @@ Router::switchAllocate(Cycle now)
     }
 
     // Output stage: one winner per output port.
+    auto &out_requests = sa_out_requests_;
     for (unsigned o = 0; o < numOutputs(); ++o) {
-        std::vector<bool> requests(numInputs(), false);
+        out_requests.assign(numInputs(), false);
         bool any = false;
         for (unsigned in = 0; in < numInputs(); ++in) {
             if (nominee[in] < vcs &&
                 inputs_[in].outPort(nominee[in]) == o) {
-                requests[in] = true;
+                out_requests[in] = true;
                 any = true;
             }
         }
@@ -281,7 +291,7 @@ Router::switchAllocate(Cycle now)
         if (params_.agePriority) {
             Cycle best = INVALID_CYCLE;
             for (unsigned cand = 0; cand < numInputs(); ++cand) {
-                if (!requests[cand])
+                if (!out_requests[cand])
                     continue;
                 const Cycle age =
                     packetAge(inputs_[cand].front(nominee[cand]));
@@ -291,7 +301,7 @@ Router::switchAllocate(Cycle now)
                 }
             }
         } else {
-            in = outputs_[o].saArb.grant(requests);
+            in = outputs_[o].saArb.grant(out_requests);
         }
         if (in >= numInputs())
             continue;
@@ -322,6 +332,8 @@ Router::switchAllocate(Cycle now)
             inputs_[in].setState(vc, VcState::IDLE);
         }
         ++flits_traversed_;
+        if (net_traversed_)
+            ++*net_traversed_;
         sa_input_arb_[in].accept(vc);
         outputs_[o].saArb.accept(in);
     }
@@ -334,6 +346,20 @@ Router::empty() const
         if (p.totalOccupancy() != 0)
             return false;
     return true;
+}
+
+bool
+Router::couldWork() const
+{
+    if (!empty())
+        return true;
+    for (unsigned d = 0; d < NUM_DIRS; ++d) {
+        if (in_links_[d].flitIn && !in_links_[d].flitIn->empty())
+            return true;
+        if (outputs_[d].creditIn && !outputs_[d].creditIn->empty())
+            return true;
+    }
+    return false;
 }
 
 std::uint64_t

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "noc/activity.hh"
 #include "noc/arbiter.hh"
 #include "noc/buffer.hh"
 #include "noc/channel.hh"
@@ -102,6 +103,32 @@ class Router
     /** Attaches the local NI as the ejection sink. */
     void setEjectionSink(EjectionSink *sink) { sink_ = sink; }
 
+    /**
+     * Registers this router in its network's active set (idle-skip
+     * scheduling).  The router marks itself whenever an NI injects a
+     * flit; its channels mark it on every send (see
+     * Channel::setWakeTarget).
+     */
+    void
+    setActivity(ActiveSet *set, unsigned idx)
+    {
+        active_set_ = set;
+        active_idx_ = idx;
+    }
+
+    /** Points router traversals at a network-level running counter so
+     *  telemetry can sample total flit hops without re-summing. */
+    void setTraversalCounter(std::uint64_t *c) { net_traversed_ = c; }
+
+    /**
+     * @return true while this router may still have work: flits
+     * buffered, or items (flits or returning credits) in flight on its
+     * attached channels.  Used to retire routers from the active set;
+     * a router for which this is false performs no state change when
+     * ticked, so skipping it is bit-exact.
+     */
+    bool couldWork() const;
+
     // --- NI injection access (same node, zero-latency handshake) ---
     /** Free slots in injection-port buffer `inj` (0-based), VC `vc`. */
     unsigned injFreeSlots(unsigned inj, unsigned vc) const;
@@ -114,7 +141,7 @@ class Router
     /** Phase 2: RC, VA, SA, ST. */
     void compute(Cycle now);
 
-    /** @return true if no flits are buffered here. */
+    /** @return true if no flits are buffered here (O(inputs)). */
     bool empty() const;
 
     /** @return true if input `in` may be switched to output `out`. */
@@ -181,8 +208,19 @@ class Router
     unsigned ej_rr_ = 0;
 
     std::uint64_t flits_traversed_ = 0;
+    std::uint64_t *net_traversed_ = nullptr;
     std::array<std::uint64_t, NUM_DIRS> link_flits_{};
     telemetry::TraceSink *tracer_ = nullptr;
+
+    ActiveSet *active_set_ = nullptr;
+    unsigned active_idx_ = 0;
+
+    // Allocation scratch, hoisted out of the per-cycle loops so the
+    // hot path performs no heap allocation.
+    std::vector<bool> va_requests_;   ///< numInputs * vcs
+    std::vector<bool> sa_vc_requests_; ///< vcs (SA input stage)
+    std::vector<bool> sa_out_requests_; ///< numInputs (SA output stage)
+    std::vector<unsigned> sa_nominee_; ///< per input port
 };
 
 } // namespace tenoc

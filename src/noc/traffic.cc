@@ -46,7 +46,7 @@ void
 OpenLoopSource::cycle(Cycle now, bool measuring)
 {
     if (rng_.nextBool(rate_)) {
-        auto pkt = std::make_shared<Packet>();
+        auto pkt = makePacket();
         pkt->src = node_;
         pkt->dst = dests_.pick(rng_);
         pkt->op = MemOp::READ_REQUEST;
@@ -82,7 +82,7 @@ McEchoSink::deliver(PacketPtr pkt, Cycle now)
 {
     if (pkt->tag & 1)
         req_latency_.sample(static_cast<double>(now - pkt->createdCycle));
-    auto reply = std::make_shared<Packet>();
+    auto reply = makePacket();
     reply->src = node_;
     reply->dst = pkt->src;
     reply->op = MemOp::READ_REPLY;

@@ -15,7 +15,7 @@ namespace
 Flit
 makeFlit(unsigned vc, bool head = true, bool tail = true)
 {
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = makePacket();
     pkt->sizeFlits = 1;
     Flit f;
     f.pkt = std::move(pkt);

@@ -56,7 +56,7 @@ TEST(Packet, RouteClassFollowsMode)
 
 TEST(MakeFlits, HeadTailAndSequence)
 {
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = makePacket();
     pkt->sizeFlits = 4;
     std::vector<Flit> flits;
     makeFlits(pkt, flits);
@@ -73,7 +73,7 @@ TEST(MakeFlits, HeadTailAndSequence)
 
 TEST(MakeFlits, SingleFlitIsHeadAndTail)
 {
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = makePacket();
     pkt->sizeFlits = 1;
     std::vector<Flit> flits;
     makeFlits(pkt, flits);

@@ -26,7 +26,7 @@ struct Collector : PacketSink
 PacketPtr
 pkt(NodeId src, NodeId dst, unsigned flits)
 {
-    auto p = std::make_shared<Packet>();
+    auto p = makePacket();
     p->src = src;
     p->dst = dst;
     p->sizeFlits = flits;

@@ -67,7 +67,7 @@ mcParams(double l2_hit = 0.0)
 PacketPtr
 request(NodeId src, MemOp op, Addr addr)
 {
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = makePacket();
     pkt->src = src;
     pkt->op = op;
     pkt->addr = addr;

@@ -41,7 +41,7 @@ PacketPtr
 makePkt(const Network &net, NodeId src, NodeId dst, MemOp op,
         int proto)
 {
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = makePacket();
     pkt->src = src;
     pkt->dst = dst;
     pkt->op = op;

@@ -83,7 +83,7 @@ TEST_P(NetworkSoak, ConservationUnderRandomTraffic)
         // Requests: random core -> random MC.
         const NodeId core = rng.pick(topo.computeNodes());
         if (sent_req + sent_rep < target && net->canInject(core, 0)) {
-            auto pkt = std::make_shared<Packet>();
+            auto pkt = makePacket();
             pkt->src = core;
             pkt->dst = rng.pick(topo.mcNodes());
             pkt->op = rng.nextBool(0.3) ? MemOp::WRITE_REQUEST
@@ -98,7 +98,7 @@ TEST_P(NetworkSoak, ConservationUnderRandomTraffic)
         // Replies: random MC -> random core.
         const NodeId mc = rng.pick(topo.mcNodes());
         if (sent_req + sent_rep < target && net->canInject(mc, 1)) {
-            auto pkt = std::make_shared<Packet>();
+            auto pkt = makePacket();
             pkt->src = mc;
             pkt->dst = rng.pick(topo.computeNodes());
             pkt->op = MemOp::READ_REPLY;

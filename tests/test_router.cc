@@ -102,7 +102,7 @@ class TwoRouterTest : public ::testing::Test, public EjectionSink
     void
     run(unsigned size_flits, Cycle cycles)
     {
-        auto pkt = std::make_shared<Packet>();
+        auto pkt = makePacket();
         pkt->src = topo_.nodeAt(0, 0);
         pkt->dst = topo_.nodeAt(1, 0);
         pkt->sizeFlits = size_flits;
@@ -192,7 +192,7 @@ TEST(Router, AggressiveSingleCycleRouter)
     } sink;
     a.setEjectionSink(&sink);
 
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = makePacket();
     pkt->src = topo.nodeAt(1, 0);
     pkt->dst = topo.nodeAt(0, 0);
     pkt->sizeFlits = 1;
@@ -226,7 +226,7 @@ TEST(Router, MultiEjectionPortsRoundRobin)
 
     // Two 1-flit packets on different VCs eject via different ports.
     for (int i = 0; i < 2; ++i) {
-        auto pkt = std::make_shared<Packet>();
+        auto pkt = makePacket();
         pkt->src = topo.nodeAt(1, 0);
         pkt->dst = topo.nodeAt(0, 0);
         pkt->sizeFlits = 1;
@@ -261,7 +261,7 @@ TEST(Router, AgePriorityGrantsOldestPacket)
     r.connectOutput(DIR_EAST, &out, &credit);
 
     auto mk = [&](int proto, Cycle injected) {
-        auto pkt = std::make_shared<Packet>();
+        auto pkt = makePacket();
         pkt->src = topo.nodeAt(0, 0);
         pkt->dst = topo.nodeAt(3, 0); // east
         pkt->sizeFlits = 1;
@@ -292,7 +292,7 @@ TEST(Router, InjFreeSlotsTracksOccupancy)
     DorRouting xy(topo, true);
     Router r(topo.nodeAt(0, 0), topo, xy, routerParams());
     EXPECT_EQ(r.injFreeSlots(0, 0), 8u);
-    auto pkt = std::make_shared<Packet>();
+    auto pkt = makePacket();
     pkt->src = topo.nodeAt(1, 0);
     pkt->dst = topo.nodeAt(0, 0);
     pkt->sizeFlits = 2;

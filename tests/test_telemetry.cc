@@ -448,7 +448,7 @@ TEST(TelemetryHub, EndToEndMeshRun)
     Cycle now = 0;
     for (; now < 300; ++now) {
         if (now < 200 && now % 4 == 0 && net.canInject(0, 0)) {
-            auto pkt = std::make_shared<Packet>();
+            auto pkt = makePacket();
             pkt->src = 0;
             pkt->dst = static_cast<NodeId>(15 - (now / 4) % 15);
             pkt->sizeFlits = 2;
