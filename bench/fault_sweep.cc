@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Fault-injection sweep: throughput degradation of the 6x6 baseline
+ * mesh as a function of injected fault rate, for each fault class
+ * (link stalls, router freezes, dropped credits).  Each point runs the
+ * identical seeded many-to-few workload against a seeded fault
+ * process; the deadlock watchdog is armed with an observing handler,
+ * so a point that wedges is reported as `deadlocked` instead of
+ * aborting the sweep.  Writes BENCH_fault_sweep.json.
+ *
+ * `fault_sweep --demo-deadlock` instead runs one deliberately wedged
+ * network (a permanent link stall under live traffic) until the
+ * watchdog's packet-age detector fires, writes the diagnostic snapshot
+ * to tenoc_watchdog_snapshot.json, and exits 0 only if the watchdog
+ * fired — CI uses it to prove the fail-fast path end to end.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "accel/experiments.hh"
+#include "common/rng.hh"
+#include "noc/mesh_network.hh"
+#include "sweep.hh"
+#include "telemetry/json.hh"
+
+namespace
+{
+
+using namespace tenoc;
+
+struct NullSink : PacketSink
+{
+    bool tryReserve(const Packet &) override { return true; }
+    void deliver(PacketPtr, Cycle) override {}
+};
+
+/** Offered load (flits/node/cycle), near many-to-few saturation so
+ *  fault-induced capacity loss shows up as lost throughput rather
+ *  than vanishing into slack. */
+constexpr double LOAD = 0.08;
+
+struct SweepPoint
+{
+    std::string series;
+    double rate = 0.0;
+    Cycle cyclesRun = 0;
+    std::uint64_t flitsEjected = 0;
+    std::uint64_t packetsEjected = 0;
+    double throughput = 0.0; ///< accepted flits/node/cycle
+    bool deadlocked = false;
+    FaultStats faults;
+};
+
+FaultConfig
+faultsFor(const std::string &series, double rate)
+{
+    FaultConfig f;
+    if (series == "link_stall") {
+        f.linkStallRate = rate;
+        f.linkStallDuration = 32;
+    } else if (series == "router_freeze") {
+        f.routerFreezeRate = rate;
+        f.routerFreezeDuration = 32;
+    } else if (series == "credit_drop") {
+        f.creditDropRate = rate;
+        // Unbounded permanent credit leaks decay into certain
+        // deadlock; cap them so low-rate points measure degradation
+        // (high-rate points may still wedge and report `deadlocked`).
+        f.maxCreditDrops = 1024;
+    }
+    return f;
+}
+
+/**
+ * One sweep point: seeded LOAD flits/node/cycle many-to-few requests
+ * for `cycles` interconnect cycles under the series' fault process.
+ */
+SweepPoint
+runPoint(const std::string &series, double rate, Cycle cycles)
+{
+    MeshNetworkParams p; // 6x6 Table III baseline
+    p.watchdogWindow = 20000;
+    p.faults = faultsFor(series, rate);
+    MeshNetwork net(p);
+    SweepPoint pt;
+    pt.series = series;
+    pt.rate = rate;
+    net.setWatchdogHandler(
+        [&pt](const WatchdogReport &) { pt.deadlocked = true; });
+
+    NullSink sink;
+    const auto &topo = net.topology();
+    for (NodeId n = 0; n < topo.numNodes(); ++n)
+        net.setSink(n, &sink);
+
+    Rng rng(7);
+    Cycle now = 0;
+    for (; now < cycles && !pt.deadlocked; ++now) {
+        for (NodeId core : topo.computeNodes()) {
+            if (rng.nextBool(LOAD) && net.canInject(core, 0)) {
+                auto pkt = makePacket();
+                pkt->src = core;
+                pkt->dst = rng.pick(topo.mcNodes());
+                pkt->sizeFlits = 1;
+                pkt->sizeBytes = p.flitBytes;
+                net.inject(std::move(pkt), now);
+            }
+        }
+        net.cycle(now);
+    }
+
+    pt.cyclesRun = now;
+    pt.flitsEjected = net.stats().flitsEjected;
+    pt.packetsEjected = net.stats().packetsEjected;
+    if (now > 0) {
+        pt.throughput = static_cast<double>(pt.flitsEjected) /
+            (static_cast<double>(now) * topo.numNodes());
+    }
+    if (const FaultStats *fs = net.faultStats())
+        pt.faults = *fs;
+    return pt;
+}
+
+telemetry::JsonValue
+pointJson(const SweepPoint &pt, double baseline)
+{
+    using telemetry::JsonValue;
+    JsonValue v = JsonValue::makeObject();
+    v.set("rate", JsonValue(pt.rate));
+    v.set("cycles", JsonValue(pt.cyclesRun));
+    v.set("flits_ejected", JsonValue(pt.flitsEjected));
+    v.set("packets_ejected", JsonValue(pt.packetsEjected));
+    v.set("throughput_flits_node_cycle", JsonValue(pt.throughput));
+    v.set("relative_throughput",
+          JsonValue(baseline > 0.0 ? pt.throughput / baseline : 0.0));
+    v.set("deadlocked", JsonValue(pt.deadlocked));
+    v.set("link_stalls", JsonValue(pt.faults.linkStalls));
+    v.set("router_freezes", JsonValue(pt.faults.routerFreezes));
+    v.set("credit_drops", JsonValue(pt.faults.creditDrops));
+    return v;
+}
+
+/** See the file comment; @return 0 iff the watchdog fired. */
+int
+runDemoDeadlock()
+{
+    MeshNetworkParams p;
+    p.maxPacketAge = 4000; // starvation detector catches the wedge
+    // Wedge a mid-row eastbound link under live traffic: the rest of
+    // the mesh keeps making progress, the packets behind the stall age
+    // out.
+    const Topology pre(p.topo);
+    p.faults.schedule.push_back(FaultEvent{
+        FaultKind::LINK_STALL, /*at=*/1000, /*duration=*/0,
+        pre.nodeAt(2, 2), DIR_EAST, 0});
+    MeshNetwork net(p);
+
+    bool fired = false;
+    net.setWatchdogHandler([&](const WatchdogReport &r) {
+        std::ofstream os("tenoc_watchdog_snapshot.json");
+        os << r.snapshotJson << "\n";
+        std::printf("fault_sweep --demo-deadlock: watchdog fired "
+                    "(%s) at cycle %llu, %llu packet(s) in flight, "
+                    "oldest %llu cycles; snapshot written to "
+                    "tenoc_watchdog_snapshot.json\n",
+                    r.reason.c_str(),
+                    static_cast<unsigned long long>(r.now),
+                    static_cast<unsigned long long>(r.inflight),
+                    static_cast<unsigned long long>(r.oldestAge));
+        fired = true;
+    });
+
+    NullSink sink;
+    const auto &topo = net.topology();
+    for (NodeId n = 0; n < topo.numNodes(); ++n)
+        net.setSink(n, &sink);
+
+    Rng rng(7);
+    for (Cycle now = 0; now < 30000 && !fired; ++now) {
+        for (NodeId core : topo.computeNodes()) {
+            if (rng.nextBool(LOAD) && net.canInject(core, 0)) {
+                auto pkt = makePacket();
+                pkt->src = core;
+                pkt->dst = rng.pick(topo.mcNodes());
+                pkt->sizeFlits = 1;
+                pkt->sizeBytes = p.flitBytes;
+                net.inject(std::move(pkt), now);
+            }
+        }
+        net.cycle(now);
+    }
+    if (!fired)
+        std::fprintf(stderr, "fault_sweep --demo-deadlock: watchdog "
+                             "never fired\n");
+    return fired ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tenoc;
+    using telemetry::JsonValue;
+
+    // The credit-drop series leaks credits on purpose, which is
+    // exactly the inconsistency TENOC_VALIDATE turns into a panic.
+    // This harness measures throughput under faults, not invariants,
+    // so drop a force-validate inherited from the environment.
+    ::unsetenv("TENOC_VALIDATE");
+
+    double scale = envScale(1.0);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--demo-deadlock") == 0)
+            return runDemoDeadlock();
+        const double v = std::atof(argv[i]);
+        if (v > 0.0)
+            scale = v;
+    }
+    const auto cycles = static_cast<Cycle>(50000 * scale);
+
+    const std::vector<std::string> series = {
+        "link_stall", "router_freeze", "credit_drop"};
+    const std::vector<double> rates = {0.0,  1e-4, 3e-4,
+                                       1e-3, 3e-3, 1e-2};
+
+    std::printf("fault_sweep: 6x6 baseline mesh, %llu cycles/point "
+                "(scale %.2f)\n",
+                static_cast<unsigned long long>(cycles), scale);
+
+    const std::size_t n = series.size() * rates.size();
+    const auto points = bench::sweepMap(n, [&](std::size_t i) {
+        return runPoint(series[i / rates.size()],
+                        rates[i % rates.size()], cycles);
+    });
+
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("schema", JsonValue("tenoc-fault-sweep-v1"));
+    doc.set("benchmark", JsonValue("fault_sweep"));
+    doc.set("topology", JsonValue("6x6"));
+    doc.set("scale", JsonValue(scale));
+    doc.set("cycles_per_point", JsonValue(cycles));
+    doc.set("offered_load", JsonValue(LOAD));
+    JsonValue series_arr = JsonValue::makeArray();
+    for (std::size_t s = 0; s < series.size(); ++s) {
+        const double baseline = points[s * rates.size()].throughput;
+        JsonValue sj = JsonValue::makeObject();
+        sj.set("fault_kind", JsonValue(series[s]));
+        JsonValue pts = JsonValue::makeArray();
+        std::printf("\n%s:\n", series[s].c_str());
+        for (std::size_t r = 0; r < rates.size(); ++r) {
+            const SweepPoint &pt = points[s * rates.size() + r];
+            pts.push(pointJson(pt, baseline));
+            std::printf("  rate %8.1e  throughput %.4f  (%.1f%%)%s\n",
+                        pt.rate, pt.throughput,
+                        baseline > 0.0
+                            ? 100.0 * pt.throughput / baseline
+                            : 0.0,
+                        pt.deadlocked ? "  DEADLOCKED" : "");
+        }
+        sj.set("points", pts);
+        series_arr.push(sj);
+    }
+    doc.set("series", series_arr);
+    std::ofstream os("BENCH_fault_sweep.json");
+    doc.write(os);
+    os << "\n";
+    std::printf("\nwrote BENCH_fault_sweep.json\n");
+    return 0;
+}

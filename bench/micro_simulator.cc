@@ -109,8 +109,10 @@ BM_ClosedLoopChip(benchmark::State &state)
 }
 BENCHMARK(BM_ClosedLoopChip)->Unit(benchmark::kMillisecond);
 
-/** Times one instrumented chip run and writes BENCH_telemetry.json. */
-void
+/** Times one instrumented chip run and writes BENCH_telemetry.json.
+ *  @return false if the run hit its cycle cap (likely deadlock; the
+ *  chip printed a diagnostic snapshot). */
+bool
 runTelemetryHarness(const telemetry::TelemetryConfig &cfg)
 {
     const char *workload = "MM";
@@ -146,6 +148,14 @@ runTelemetryHarness(const telemetry::TelemetryConfig &cfg)
                  workload, scale,
                  static_cast<unsigned long long>(result.icntCycles),
                  wall, rate);
+    if (result.timedOut) {
+        std::fprintf(stderr,
+                     "[micro_simulator] ERROR: run hit the icnt cycle "
+                     "cap before completing — see the diagnostic "
+                     "snapshot above\n");
+        return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -157,7 +167,8 @@ main(int argc, char **argv)
     // sees them (it rejects unknown arguments).
     const auto cfg = telemetry::parseTelemetryFlags(argc, argv);
 
-    runTelemetryHarness(cfg);
+    if (!runTelemetryHarness(cfg))
+        return 2; // cycle-cap timeout: fail fast instead of reporting
     if (cfg.any())
         return 0; // telemetry run requested; skip the benchmark suite
 

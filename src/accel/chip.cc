@@ -294,6 +294,14 @@ Chip::run()
         if (icnt_now_ >= params_.maxIcntCycles) {
             warn("chip run hit the cycle cap (", params_.maxIcntCycles,
                  " icnt cycles) for workload ", profile_.abbr);
+            if (!net_->drained()) {
+                // Undrained traffic at the cap smells like deadlock:
+                // dump the network's wait-for state for diagnosis.
+                const std::string report =
+                    net_->diagnosticReport(icnt_now_);
+                if (!report.empty())
+                    warn("network diagnostic snapshot:\n", report);
+            }
             timed_out = true;
         }
         return !timed_out;

@@ -174,6 +174,11 @@ chipParamsFromConfig(const Config &cfg)
         "clk.memMhz",
         "mc.inputQueueCap", "mc.l2HitLatency", "dram.queueCapacity",
         "dram.banks", "dram.rowBytes", "sim.seed", "sim.maxIcntCycles",
+        "noc.validate", "noc.validateInterval", "noc.watchdogWindow",
+        "noc.maxPacketAge", "noc.watchdogSnapshotPath",
+        "fault.linkStallRate", "fault.linkStallDuration",
+        "fault.routerFreezeRate", "fault.routerFreezeDuration",
+        "fault.creditDropRate", "fault.maxCreditDrops", "fault.seed",
     };
     for (const auto &key : cfg.keys()) {
         if (!known.count(key))
@@ -224,9 +229,48 @@ chipParamsFromConfig(const Config &cfg)
     }
     m.agePriority = cfg.getBool("noc.agePriority", m.agePriority);
 
+    // Hardening knobs (noc/invariants.hh, noc/faults.hh).
+    m.validate = cfg.getBool("noc.validate", m.validate);
+    m.validateInterval =
+        cfg.getUint("noc.validateInterval", m.validateInterval);
+    m.watchdogWindow =
+        cfg.getUint("noc.watchdogWindow", m.watchdogWindow);
+    m.maxPacketAge = cfg.getUint("noc.maxPacketAge", m.maxPacketAge);
+    m.watchdogSnapshotPath = cfg.getString("noc.watchdogSnapshotPath",
+                                           m.watchdogSnapshotPath);
+    m.faults.linkStallRate =
+        cfg.getDouble("fault.linkStallRate", m.faults.linkStallRate);
+    m.faults.linkStallDuration = cfg.getUint(
+        "fault.linkStallDuration", m.faults.linkStallDuration);
+    m.faults.routerFreezeRate = cfg.getDouble(
+        "fault.routerFreezeRate", m.faults.routerFreezeRate);
+    m.faults.routerFreezeDuration = cfg.getUint(
+        "fault.routerFreezeDuration", m.faults.routerFreezeDuration);
+    m.faults.creditDropRate =
+        cfg.getDouble("fault.creditDropRate", m.faults.creditDropRate);
+    m.faults.maxCreditDrops =
+        cfg.getUint("fault.maxCreditDrops", m.faults.maxCreditDrops);
+    m.faults.seed = cfg.getUint("fault.seed", m.faults.seed);
+    for (double rate : {m.faults.linkStallRate,
+                        m.faults.routerFreezeRate,
+                        m.faults.creditDropRate}) {
+        if (rate < 0.0 || rate > 1.0) {
+            tenoc_fatal("invalid fault config: rates are per-component"
+                        " per-cycle probabilities and must lie in"
+                        " [0, 1] (got ", rate, ")");
+        }
+    }
+
     p.coreClockMhz = cfg.getDouble("clk.coreMhz", p.coreClockMhz);
     p.icntClockMhz = cfg.getDouble("clk.icntMhz", p.icntClockMhz);
     p.memClockMhz = cfg.getDouble("clk.memMhz", p.memClockMhz);
+    if (p.coreClockMhz <= 0.0 || p.icntClockMhz <= 0.0 ||
+        p.memClockMhz <= 0.0) {
+        tenoc_fatal("invalid clock config: core/icnt/mem clocks must"
+                    " all be positive MHz (got core=", p.coreClockMhz,
+                    " icnt=", p.icntClockMhz, " mem=", p.memClockMhz,
+                    ")");
+    }
 
     p.mc.inputQueueCap = static_cast<unsigned>(
         cfg.getUint("mc.inputQueueCap", p.mc.inputQueueCap));

@@ -16,7 +16,10 @@
 
 #include <cstddef>
 #include <memory>
+#include <unordered_set>
 #include <vector>
+
+#include "common/log.hh"
 
 namespace tenoc
 {
@@ -27,6 +30,12 @@ namespace tenoc
  * last-released state for recycled ones); callers reset fields
  * themselves.  release() must only be called with pointers obtained
  * from the same pool.
+ *
+ * In validate mode (setValidate) the pool mirrors the freelist in a
+ * hash set and makes releasing an already-free object a hard error
+ * instead of silently corrupting the freelist (the same object would
+ * be handed out twice and aliased).  Off by default: the hot path pays
+ * only one branch.
  */
 template <typename T>
 class FreeListPool
@@ -47,6 +56,8 @@ class FreeListPool
             grow();
         T *obj = free_.back();
         free_.pop_back();
+        if (validate_)
+            free_set_.erase(obj);
         return obj;
     }
 
@@ -54,8 +65,28 @@ class FreeListPool
     void
     release(T *obj)
     {
+        if (validate_ && !free_set_.insert(obj).second) {
+            tenoc_panic("pool double-release: object ", obj,
+                        " is already on the freelist");
+        }
         free_.push_back(obj);
     }
+
+    /**
+     * Enables (or disables) double-release checking.  Turning it on
+     * mid-life rebuilds the shadow set from the current freelist.
+     */
+    void
+    setValidate(bool on)
+    {
+        validate_ = on;
+        free_set_.clear();
+        if (on)
+            free_set_.insert(free_.begin(), free_.end());
+    }
+
+    /** @return true while double-release checking is enabled. */
+    bool validating() const { return validate_; }
 
     /** Objects currently live (allocated and not yet released). */
     std::size_t
@@ -74,13 +105,19 @@ class FreeListPool
         chunks_.push_back(std::make_unique<T[]>(chunk_objects_));
         T *base = chunks_.back().get();
         free_.reserve(free_.size() + chunk_objects_);
-        for (std::size_t i = 0; i < chunk_objects_; ++i)
+        for (std::size_t i = 0; i < chunk_objects_; ++i) {
             free_.push_back(base + i);
+            if (validate_)
+                free_set_.insert(base + i);
+        }
     }
 
     std::size_t chunk_objects_;
     std::vector<std::unique_ptr<T[]>> chunks_;
     std::vector<T *> free_;
+    bool validate_ = false;
+    /** Shadow of `free_` for double-release detection (validate mode). */
+    std::unordered_set<T *> free_set_;
 };
 
 } // namespace tenoc

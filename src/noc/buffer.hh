@@ -71,6 +71,16 @@ class InputPort
     /** Total flits buffered across all VCs (O(1), kept by push/pop). */
     std::size_t totalOccupancy() const { return total_; }
 
+    /** Calls f(vc, flit) for every buffered flit, head first per VC. */
+    template <typename F>
+    void
+    forEachFlit(F &&f) const
+    {
+        for (unsigned vc = 0; vc < vcs_.size(); ++vc)
+            for (const Flit &flit : vcs_[vc].fifo)
+                f(vc, flit);
+    }
+
   private:
     struct VcEntry
     {

@@ -62,11 +62,37 @@ class Channel
     std::optional<T>
     receive(Cycle now)
     {
-        if (queue_.empty() || queue_.front().first > now)
+        if (stalled_ || queue_.empty() || queue_.front().first > now)
             return std::nullopt;
         T item = std::move(queue_.front().second);
         queue_.pop_front();
         return item;
+    }
+
+    /**
+     * Fault hook: while stalled the channel delivers nothing (items
+     * keep accumulating and arrive in a burst once the stall clears,
+     * like a repaired wire).  Clearing a stall re-marks the receiver
+     * so idle-skip scheduling picks the backlog up.
+     */
+    void
+    setStalled(bool stalled)
+    {
+        stalled_ = stalled;
+        if (!stalled && wake_set_ && !queue_.empty())
+            wake_set_->mark(wake_idx_);
+    }
+
+    /** @return true while a link-stall fault is active. */
+    bool stalled() const { return stalled_; }
+
+    /** Calls f(item) for every in-flight item, oldest first. */
+    template <typename F>
+    void
+    forEachInFlight(F &&f) const
+    {
+        for (const auto &e : queue_)
+            f(e.second);
     }
 
     /** @return true if no items are in flight. */
@@ -87,6 +113,7 @@ class Channel
   private:
     Cycle latency_;
     Cycle last_send_ = INVALID_CYCLE;
+    bool stalled_ = false;
     std::deque<std::pair<Cycle, T>> queue_;
     ActiveSet *wake_set_ = nullptr;
     unsigned wake_idx_ = 0;

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * FaultEngine implementation.
+ */
+
+#include "noc/faults.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "noc/router.hh"
+
+namespace tenoc
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::LINK_STALL:
+        return "link_stall";
+      case FaultKind::ROUTER_FREEZE:
+        return "router_freeze";
+      case FaultKind::CREDIT_DROP:
+        return "credit_drop";
+    }
+    return "unknown";
+}
+
+FaultEngine::FaultEngine(const FaultConfig &config, unsigned num_nodes)
+    : config_(config), rng_(config.seed), links_(num_nodes),
+      routers_(num_nodes, nullptr), frozen_(num_nodes, false)
+{
+    for (auto &dirs : links_)
+        dirs.fill(nullptr);
+    std::stable_sort(config_.schedule.begin(), config_.schedule.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.at < b.at;
+                     });
+}
+
+void
+FaultEngine::registerLink(NodeId node, unsigned dir, Channel<Flit> *channel)
+{
+    tenoc_assert(node < links_.size() && dir < NUM_DIRS,
+                 "fault engine: bad link registration");
+    links_[node][dir] = channel;
+}
+
+void
+FaultEngine::registerRouter(NodeId node, Router *router)
+{
+    tenoc_assert(node < routers_.size(),
+                 "fault engine: bad router registration");
+    routers_[node] = router;
+}
+
+void
+FaultEngine::tick(Cycle now)
+{
+    // Expire elapsed stalls / freezes.
+    for (std::size_t i = 0; i < active_.size();) {
+        if (active_[i].until != INVALID_CYCLE && now >= active_[i].until) {
+            stop(active_[i]);
+            active_[i] = active_.back();
+            active_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+
+    // Fire due scheduled faults.
+    while (next_scheduled_ < config_.schedule.size() &&
+           config_.schedule[next_scheduled_].at <= now) {
+        apply(config_.schedule[next_scheduled_], now);
+        ++next_scheduled_;
+    }
+
+    // Seeded random fault processes.  The rates are per component per
+    // cycle; a component already faulted is left alone (no stacking).
+    if (config_.linkStallRate > 0.0) {
+        for (NodeId n = 0; n < links_.size(); ++n) {
+            for (unsigned d = 0; d < NUM_DIRS; ++d) {
+                Channel<Flit> *ch = links_[n][d];
+                if (!ch || ch->stalled())
+                    continue;
+                if (rng_.nextBool(config_.linkStallRate)) {
+                    start(FaultKind::LINK_STALL, n, d, now,
+                          config_.linkStallDuration);
+                }
+            }
+        }
+    }
+    if (config_.routerFreezeRate > 0.0) {
+        for (NodeId n = 0; n < routers_.size(); ++n) {
+            if (!routers_[n] || frozen_[n])
+                continue;
+            if (rng_.nextBool(config_.routerFreezeRate)) {
+                start(FaultKind::ROUTER_FREEZE, n, 0, now,
+                      config_.routerFreezeDuration);
+            }
+        }
+    }
+    if (config_.creditDropRate > 0.0 &&
+        stats_.creditDrops < config_.maxCreditDrops) {
+        for (NodeId n = 0; n < routers_.size(); ++n) {
+            Router *r = routers_[n];
+            if (!r || !rng_.nextBool(config_.creditDropRate))
+                continue;
+            const unsigned out = static_cast<unsigned>(
+                rng_.nextRange(NUM_DIRS));
+            const unsigned vc = static_cast<unsigned>(
+                rng_.nextRange(r->numVcs()));
+            if (r->outputConnected(out) && r->dropCredit(out, vc))
+                ++stats_.creditDrops;
+            if (stats_.creditDrops >= config_.maxCreditDrops)
+                break;
+        }
+    }
+}
+
+void
+FaultEngine::apply(const FaultEvent &ev, Cycle now)
+{
+    switch (ev.kind) {
+      case FaultKind::LINK_STALL:
+      case FaultKind::ROUTER_FREEZE:
+        start(ev.kind, ev.node, ev.port, now, ev.duration);
+        break;
+      case FaultKind::CREDIT_DROP: {
+        Router *r = ev.node < routers_.size() ? routers_[ev.node] : nullptr;
+        tenoc_assert(r, "scheduled credit drop on unregistered router ",
+                     ev.node);
+        if (r->dropCredit(ev.port, ev.vc))
+            ++stats_.creditDrops;
+        break;
+      }
+    }
+}
+
+void
+FaultEngine::start(FaultKind kind, NodeId node, unsigned port, Cycle now,
+                   Cycle duration)
+{
+    const Cycle until =
+        duration == 0 ? INVALID_CYCLE : now + duration;
+    switch (kind) {
+      case FaultKind::LINK_STALL: {
+        Channel<Flit> *ch =
+            node < links_.size() && port < NUM_DIRS
+                ? links_[node][port] : nullptr;
+        tenoc_assert(ch, "scheduled link stall on unregistered link (",
+                     node, ", dir ", port, ")");
+        if (ch->stalled())
+            return; // already faulted; no stacking
+        ch->setStalled(true);
+        ++stats_.linkStalls;
+        active_.push_back({kind, node, port, until});
+        break;
+      }
+      case FaultKind::ROUTER_FREEZE:
+        tenoc_assert(node < frozen_.size() && routers_[node],
+                     "scheduled freeze on unregistered router ", node);
+        if (frozen_[node])
+            return;
+        frozen_[node] = true;
+        ++stats_.routerFreezes;
+        active_.push_back({kind, node, port, until});
+        break;
+      case FaultKind::CREDIT_DROP:
+        tenoc_panic("credit drops are instantaneous, not active faults");
+    }
+}
+
+void
+FaultEngine::stop(const ActiveFault &fault)
+{
+    switch (fault.kind) {
+      case FaultKind::LINK_STALL:
+        links_[fault.node][fault.port]->setStalled(false);
+        break;
+      case FaultKind::ROUTER_FREEZE:
+        frozen_[fault.node] = false;
+        break;
+      case FaultKind::CREDIT_DROP:
+        break;
+    }
+}
+
+} // namespace tenoc

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Seeded fault injection for the mesh NoC.
+ *
+ * The engine perturbs a running MeshNetwork on deterministic schedules
+ * so that the hardening machinery (invariant checker, deadlock
+ * watchdog) can be exercised on purpose, and so `bench/fault_sweep`
+ * can chart throughput degradation against injected fault rate.
+ * Three fault classes, mirroring the failure modes a credit-based
+ * wormhole network actually has:
+ *
+ *  - LINK_STALL:    a flit channel stops delivering for a window; the
+ *                   backlog arrives in a burst when the stall clears.
+ *  - ROUTER_FREEZE: a router is not ticked for a window; traffic
+ *                   through it (and credits it owes) stand still.
+ *  - CREDIT_DROP:   one downstream credit is leaked permanently — the
+ *                   buffer slot it represents is never usable again.
+ *                   Enough drops deadlock the network; the invariant
+ *                   checker reports the leak precisely.
+ *
+ * Faults come from two deterministic sources: an explicit schedule
+ * (exact cycle/place, used by tests) and seeded Bernoulli processes
+ * per link/router (rates, used by the sweep).  Same seed, same
+ * workload -> same fault pattern.
+ */
+
+#ifndef TENOC_NOC_FAULTS_HH
+#define TENOC_NOC_FAULTS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "noc/channel.hh"
+#include "noc/flit.hh"
+#include "noc/topology.hh"
+
+namespace tenoc
+{
+
+class Router;
+
+/** Fault classes (see file comment). */
+enum class FaultKind : std::uint8_t
+{
+    LINK_STALL,
+    ROUTER_FREEZE,
+    CREDIT_DROP
+};
+
+/** @return short name of a fault kind ("link_stall", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::LINK_STALL;
+    Cycle at = 0;       ///< activation cycle
+    /** Stall/freeze length in cycles; 0 = permanent. */
+    Cycle duration = 0;
+    NodeId node = 0;    ///< router owning the faulted output / frozen
+    unsigned port = 0;  ///< output direction (LINK_STALL, CREDIT_DROP)
+    unsigned vc = 0;    ///< virtual channel (CREDIT_DROP)
+};
+
+/** Fault process configuration (all-zero = no faults). */
+struct FaultConfig
+{
+    /** Per-link per-cycle stall probability. */
+    double linkStallRate = 0.0;
+    Cycle linkStallDuration = 32;
+    /** Per-router per-cycle freeze probability. */
+    double routerFreezeRate = 0.0;
+    Cycle routerFreezeDuration = 32;
+    /** Per-router per-cycle credit-drop probability. */
+    double creditDropRate = 0.0;
+    /** Cap on total dropped credits (random process only); keeps a
+     *  degradation sweep from decaying into certain deadlock. */
+    std::uint64_t maxCreditDrops = UINT64_MAX;
+    std::uint64_t seed = 0xfa0175ULL;
+    /** Exact scheduled faults (sorted by the engine). */
+    std::vector<FaultEvent> schedule;
+
+    bool
+    any() const
+    {
+        return linkStallRate > 0.0 || routerFreezeRate > 0.0 ||
+               creditDropRate > 0.0 || !schedule.empty();
+    }
+};
+
+/** Counts of applied faults (reported by bench/fault_sweep). */
+struct FaultStats
+{
+    std::uint64_t linkStalls = 0;
+    std::uint64_t routerFreezes = 0;
+    std::uint64_t creditDrops = 0;
+};
+
+/**
+ * Applies a FaultConfig to one MeshNetwork.  The network registers its
+ * routers and outgoing flit channels, then calls tick(now) at the top
+ * of every cycle; routerFrozen() gates the scheduler's router ticks.
+ */
+class FaultEngine
+{
+  public:
+    FaultEngine(const FaultConfig &config, unsigned num_nodes);
+
+    /** Registers the flit channel leaving `node` in direction `dir`. */
+    void registerLink(NodeId node, unsigned dir, Channel<Flit> *channel);
+    /** Registers a router (freeze / credit-drop target). */
+    void registerRouter(NodeId node, Router *router);
+
+    /** Starts due faults, expires elapsed ones; once per icnt cycle. */
+    void tick(Cycle now);
+
+    /** @return true while router `n` is frozen (must not be ticked). */
+    bool
+    routerFrozen(NodeId n) const
+    {
+        return frozen_[n];
+    }
+
+    /** @return true while any stall/freeze is active. */
+    bool quiet() const { return active_.empty(); }
+
+    const FaultStats &stats() const { return stats_; }
+
+  private:
+    struct ActiveFault
+    {
+        FaultKind kind;
+        NodeId node;
+        unsigned port;
+        Cycle until; ///< INVALID_CYCLE = permanent
+    };
+
+    void apply(const FaultEvent &ev, Cycle now);
+    void start(FaultKind kind, NodeId node, unsigned port, Cycle now,
+               Cycle duration);
+    void stop(const ActiveFault &fault);
+
+    FaultConfig config_;
+    Rng rng_;
+    std::vector<std::array<Channel<Flit> *, NUM_DIRS>> links_;
+    std::vector<Router *> routers_;
+    std::vector<bool> frozen_;
+    std::vector<ActiveFault> active_;
+    std::size_t next_scheduled_ = 0;
+    FaultStats stats_;
+};
+
+} // namespace tenoc
+
+#endif // TENOC_NOC_FAULTS_HH

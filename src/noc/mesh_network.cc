@@ -5,10 +5,59 @@
 
 #include "noc/mesh_network.hh"
 
+#include <fstream>
+
+#include "telemetry/json.hh"
 #include "telemetry/telemetry.hh"
 
 namespace tenoc
 {
+
+void
+validateMeshNetworkParams(const MeshNetworkParams &params)
+{
+    if (params.protoClasses == 0) {
+        tenoc_fatal("invalid network config: protoClasses must be >= 1"
+                    " (request/reply protocol isolation needs at least"
+                    " one class)");
+    }
+    if (params.vcsPerClass == 0) {
+        tenoc_fatal("invalid network config: vcsPerClass must be >= 1 —"
+                    " a network with 0 virtual channels cannot carry"
+                    " traffic");
+    }
+    if (params.vcDepth == 0) {
+        tenoc_fatal("invalid network config: vcDepth must be >= 1 —"
+                    " 0-depth VC buffers can never accept a flit");
+    }
+    if (params.flitBytes == 0) {
+        tenoc_fatal("invalid network config: flitBytes must be >= 1"
+                    " (channel width in bytes)");
+    }
+    if (params.pipelineDepth == 0 || params.halfPipelineDepth == 0) {
+        tenoc_fatal("invalid network config: pipelineDepth and"
+                    " halfPipelineDepth must be >= 1 (a flit spends at"
+                    " least one cycle in a router)");
+    }
+    if (params.channelLatency == 0) {
+        tenoc_fatal("invalid network config: channelLatency must be"
+                    " >= 1 cycle");
+    }
+    if (params.mcInjPorts == 0 || params.mcEjPorts == 0) {
+        tenoc_fatal("invalid network config: MC routers need at least"
+                    " one injection and one ejection port (got inj=",
+                    params.mcInjPorts, " ej=", params.mcEjPorts, ")");
+    }
+    if (params.ni.injQueueCap == 0 || params.ni.ejBufferFlits == 0) {
+        tenoc_fatal("invalid network config: NI queue capacities must"
+                    " be >= 1 (injQueueCap=", params.ni.injQueueCap,
+                    " ejBufferFlits=", params.ni.ejBufferFlits, ")");
+    }
+    if (params.validate && params.validateInterval == 0) {
+        tenoc_fatal("invalid network config: validateInterval must be"
+                    " >= 1 when validate is enabled");
+    }
+}
 
 double
 NetStats::acceptedBytesPerCyclePerNode() const
@@ -70,9 +119,26 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
       routing_(makeRouting(params.routing, topo_)),
       rng_(params.seed)
 {
+    validateMeshNetworkParams(params_);
+    if (validateForcedByEnv())
+        params_.validate = true;
+    if (params_.validate) {
+        // Packets are pooled thread-locally; arm double-release
+        // detection on this thread's pool (left on afterwards — purely
+        // additional checking, never behavioural).
+        packetPool().setValidate(true);
+    }
+
     vc_map_.protoClasses = params_.protoClasses;
     vc_map_.routeClasses = routing_->numRouteClasses();
     vc_map_.vcsPerClass = params_.vcsPerClass;
+
+    checker_ = std::make_unique<InvariantChecker>(params_.vcDepth);
+    checker_->setCounters(&inflight_, &net_flits_in_, &net_flits_out_);
+    if (params_.faults.any()) {
+        faults_ = std::make_unique<FaultEngine>(params_.faults,
+                                                topo_.numNodes());
+    }
 
     if (shared_stats) {
         stats_ = shared_stats;
@@ -102,6 +168,9 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
             std::make_unique<Router>(n, topo_, *routing_, rp));
         routers_[n]->setActivity(&router_active_, n);
         routers_[n]->setTraversalCounter(&flits_traversed_total_);
+        checker_->addRouter(routers_[n].get());
+        if (faults_)
+            faults_->registerRouter(n, routers_[n].get());
     }
 
     // Channels between adjacent routers (one flit + one credit channel
@@ -123,6 +192,11 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
             // flits travel n -> nb, credits return nb -> n.
             fc->setWakeTarget(&router_active_, nb);
             cc->setWakeTarget(&router_active_, n);
+            checker_->addLink(routers_[n].get(), d, fc.get(), cc.get(),
+                              routers_[nb].get(),
+                              static_cast<unsigned>(opposite(dir)));
+            if (faults_)
+                faults_->registerLink(n, d, fc.get());
             flit_channels_.push_back(std::move(fc));
             credit_channels_.push_back(std::move(cc));
         }
@@ -136,7 +210,11 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
         routers_[n]->setEjectionSink(nis_[n].get());
         nis_[n]->setActivity(&ni_active_, n);
         nis_[n]->setInFlightCounter(&inflight_);
+        nis_[n]->setNetFlitCounters(&net_flits_in_, &net_flits_out_);
+        checker_->addNi(nis_[n].get());
     }
+    if (params_.idleSkip)
+        checker_->setActivity(&router_active_, &ni_active_);
 }
 
 bool
@@ -171,16 +249,26 @@ void
 MeshNetwork::cycle(Cycle now)
 {
     ++stats_->cycles;
+    const FaultEngine *fe = faults_.get();
+    if (faults_)
+        faults_->tick(now);
     if (!params_.idleSkip) {
-        // Reference scheduler: tick everything every cycle.
-        for (auto &r : routers_)
-            r->readInputs(now);
+        // Reference scheduler: tick everything every cycle.  A frozen
+        // router (ROUTER_FREEZE fault) is skipped entirely: its
+        // buffers, arbiters and attached channel endpoints hold still.
+        for (auto &r : routers_) {
+            if (!fe || !fe->routerFrozen(r->id()))
+                r->readInputs(now);
+        }
         for (auto &ni : nis_)
             ni->injectPhase(now);
-        for (auto &r : routers_)
-            r->compute(now);
+        for (auto &r : routers_) {
+            if (!fe || !fe->routerFrozen(r->id()))
+                r->compute(now);
+        }
         for (auto &ni : nis_)
             ni->drainPhase(now);
+        postCycle(now);
         return;
     }
     // Idle-skip: tick only components that can make progress.  An idle
@@ -190,20 +278,88 @@ MeshNetwork::cycle(Cycle now)
     // by one phase (NI injectFlit -> router, router ejectFlit -> NI)
     // are observed by the later phases of the same cycle because each
     // forEach reads the live mask.
-    router_active_.forEach(
-        [&](unsigned n) { routers_[n]->readInputs(now); });
+    router_active_.forEach([&](unsigned n) {
+        if (!fe || !fe->routerFrozen(n))
+            routers_[n]->readInputs(now);
+    });
     ni_active_.forEach([&](unsigned n) { nis_[n]->injectPhase(now); });
     router_active_.forEach([&](unsigned n) {
-        if (routers_[n]->bufferedFlits())
+        if (routers_[n]->bufferedFlits() &&
+            (!fe || !fe->routerFrozen(n))) {
             routers_[n]->compute(now);
+        }
     });
     ni_active_.forEach([&](unsigned n) { nis_[n]->drainPhase(now); });
     // Retire components that ran dry: a retired router/NI is re-marked
     // by the event that next gives it work (channel send, injection,
-    // ejection), never silently forgotten.
+    // ejection), never silently forgotten.  A frozen router retires
+    // only if it truly has no work (couldWork covers its buffers and
+    // channels whether or not it is being ticked).
     router_active_.retireIf(
         [&](unsigned n) { return !routers_[n]->couldWork(); });
     ni_active_.retireIf([&](unsigned n) { return nis_[n]->idle(); });
+    postCycle(now);
+}
+
+void
+MeshNetwork::postCycle(Cycle now)
+{
+    if (params_.validate && now >= next_check_) {
+        checker_->check(now);
+        next_check_ = now + params_.validateInterval;
+    }
+    if (params_.watchdogWindow != 0) {
+        // O(1) per cycle: any flit movement — injection into a router,
+        // a switch traversal, or ejection-buffer drain — is progress.
+        const std::uint64_t progress =
+            net_flits_in_ + net_flits_out_ + flits_traversed_total_;
+        if (inflight_ == 0 || progress != wd_last_progress_ ||
+            now < wd_last_change_) {
+            wd_last_progress_ = progress;
+            wd_last_change_ = now;
+        } else if (now - wd_last_change_ >= params_.watchdogWindow) {
+            fireWatchdog(now, "no_progress");
+        }
+    }
+    if (params_.maxPacketAge != 0 && inflight_ != 0 &&
+        (now & 1023) == 0) {
+        // Livelock scan: cheap enough on a 1024-cycle stride.
+        const Cycle oldest = checker_->oldestCreated();
+        if (oldest != INVALID_CYCLE &&
+            now - oldest > params_.maxPacketAge) {
+            fireWatchdog(now, "packet_age");
+        }
+    }
+}
+
+void
+MeshNetwork::fireWatchdog(Cycle now, const char *reason)
+{
+    WatchdogReport report;
+    report.now = now;
+    report.window = params_.watchdogWindow;
+    report.inflight = inflight_;
+    const Cycle oldest = checker_->oldestCreated();
+    report.oldestAge = oldest == INVALID_CYCLE ? 0 : now - oldest;
+    report.reason = reason;
+    report.snapshotJson = diagnosticReport(now);
+    if (wd_handler_) {
+        wd_handler_(report);
+        // Re-arm so an observing handler sees one report per stuck
+        // window instead of one per cycle.
+        wd_last_change_ = now;
+        wd_last_progress_ =
+            net_flits_in_ + net_flits_out_ + flits_traversed_total_;
+        return;
+    }
+    std::ofstream out(params_.watchdogSnapshotPath);
+    if (out)
+        out << report.snapshotJson << "\n";
+    tenoc_fatal("network watchdog: ", reason, " at cycle ", now, " — ",
+                report.inflight, " packet(s) in flight, oldest is ",
+                report.oldestAge, " cycles old; diagnostic snapshot ",
+                out ? "written to " : "could not be written to ",
+                params_.watchdogSnapshotPath);
 }
 
 void
@@ -243,6 +399,182 @@ MeshNetwork::attachTelemetryPrefixed(telemetry::TelemetryHub &hub,
     }
 }
 
+namespace
+{
+
+const char *
+vcStateName(VcState s)
+{
+    switch (s) {
+      case VcState::IDLE:
+        return "IDLE";
+      case VcState::ROUTING:
+        return "ROUTING";
+      case VcState::VC_ALLOC:
+        return "VC_ALLOC";
+      case VcState::ACTIVE:
+        return "ACTIVE";
+    }
+    return "?";
+}
+
+} // namespace
+
+telemetry::JsonValue
+MeshNetwork::diagnosticSnapshot(Cycle now) const
+{
+    using telemetry::JsonValue;
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("schema", "tenoc-watchdog-v1");
+    doc.set("cycle", static_cast<std::uint64_t>(now));
+    doc.set("packets_in_flight", inflight_);
+    doc.set("flits_in_network", net_flits_in_ - net_flits_out_);
+    const Cycle oldest = checker_->oldestCreated();
+    doc.set("oldest_packet_age",
+            oldest == INVALID_CYCLE
+                ? JsonValue()
+                : JsonValue(static_cast<std::uint64_t>(now - oldest)));
+
+    JsonValue topo = JsonValue::makeObject();
+    topo.set("rows", static_cast<std::uint64_t>(topo_.rows()));
+    topo.set("cols", static_cast<std::uint64_t>(topo_.cols()));
+    doc.set("topology", std::move(topo));
+
+    if (faults_) {
+        const FaultStats &fs = faults_->stats();
+        JsonValue faults = JsonValue::makeObject();
+        faults.set("link_stalls", fs.linkStalls);
+        faults.set("router_freezes", fs.routerFreezes);
+        faults.set("credit_drops", fs.creditDrops);
+        doc.set("faults", std::move(faults));
+    }
+
+    // Live invariant audit: a deadlock caused by state corruption
+    // (e.g. a leaked credit) names itself here.
+    JsonValue violations = JsonValue::makeArray();
+    for (const Violation &v : checker_->audit(now)) {
+        JsonValue entry = JsonValue::makeObject();
+        entry.set("kind", violationKindName(v.kind));
+        entry.set("message", v.message);
+        violations.push(std::move(entry));
+    }
+    doc.set("violations", std::move(violations));
+
+    // Non-idle routers: per-VC pipeline state, credits, and wait-for
+    // edges (an ACTIVE VC whose granted output VC has no credits is
+    // blocked on its downstream neighbor — the cycles in this edge
+    // list are the deadlock).
+    JsonValue routers = JsonValue::makeArray();
+    JsonValue wait_for = JsonValue::makeArray();
+    for (const auto &r : routers_) {
+        if (!r->couldWork())
+            continue;
+        JsonValue rj = JsonValue::makeObject();
+        rj.set("id", static_cast<std::uint64_t>(r->id()));
+        if (faults_)
+            rj.set("frozen", faults_->routerFrozen(r->id()));
+        rj.set("buffered_flits", r->bufferedFlits());
+        JsonValue vcs = JsonValue::makeArray();
+        for (unsigned in = 0; in < r->numInputs(); ++in) {
+            for (unsigned vc = 0; vc < r->numVcs(); ++vc) {
+                const VcState state = r->vcState(in, vc);
+                const auto occ = r->vcOccupancy(in, vc);
+                if (state == VcState::IDLE && occ == 0)
+                    continue;
+                JsonValue vj = JsonValue::makeObject();
+                vj.set("in", static_cast<std::uint64_t>(in));
+                vj.set("vc", static_cast<std::uint64_t>(vc));
+                vj.set("state", vcStateName(state));
+                vj.set("occupancy", static_cast<std::uint64_t>(occ));
+                if (state == VcState::VC_ALLOC ||
+                    state == VcState::ACTIVE) {
+                    vj.set("out_port", static_cast<std::uint64_t>(
+                                           r->vcOutPort(in, vc)));
+                }
+                if (state == VcState::ACTIVE) {
+                    const unsigned out_port = r->vcOutPort(in, vc);
+                    const unsigned out_vc = r->vcOutVc(in, vc);
+                    vj.set("out_vc",
+                           static_cast<std::uint64_t>(out_vc));
+                    if (out_port < NUM_DIRS &&
+                        r->outputCredits(out_port, out_vc) == 0) {
+                        const NodeId nb = topo_.neighbor(
+                            r->id(), static_cast<Direction>(out_port));
+                        JsonValue edge = JsonValue::makeObject();
+                        edge.set("router",
+                                 static_cast<std::uint64_t>(r->id()));
+                        edge.set("in", static_cast<std::uint64_t>(in));
+                        edge.set("vc", static_cast<std::uint64_t>(vc));
+                        edge.set("out_port",
+                                 static_cast<std::uint64_t>(out_port));
+                        edge.set("out_vc",
+                                 static_cast<std::uint64_t>(out_vc));
+                        edge.set("waits_on",
+                                 static_cast<std::uint64_t>(nb));
+                        wait_for.push(std::move(edge));
+                    }
+                }
+                if (const Flit *front = r->vcFront(in, vc)) {
+                    vj.set("front_pkt", front->pkt->id);
+                    if (front->pkt->createdCycle != INVALID_CYCLE) {
+                        vj.set("front_age",
+                               static_cast<std::uint64_t>(
+                                   now - front->pkt->createdCycle));
+                    }
+                }
+                vcs.push(std::move(vj));
+            }
+        }
+        rj.set("vcs", std::move(vcs));
+        JsonValue credits = JsonValue::makeArray();
+        for (unsigned d = 0; d < NUM_DIRS; ++d) {
+            if (!r->outputConnected(d))
+                continue;
+            JsonValue cj = JsonValue::makeArray();
+            for (unsigned vc = 0; vc < r->numVcs(); ++vc)
+                cj.push(static_cast<std::uint64_t>(
+                    r->outputCredits(d, vc)));
+            JsonValue dj = JsonValue::makeObject();
+            dj.set("dir", static_cast<std::uint64_t>(d));
+            dj.set("credits", std::move(cj));
+            credits.push(std::move(dj));
+        }
+        rj.set("output_credits", std::move(credits));
+        routers.push(std::move(rj));
+    }
+    doc.set("routers", std::move(routers));
+    doc.set("wait_for", std::move(wait_for));
+
+    JsonValue nis = JsonValue::makeArray();
+    for (const auto &ni : nis_) {
+        const NiAuditInfo info = ni->audit();
+        if (info.idle)
+            continue;
+        JsonValue nj = JsonValue::makeObject();
+        nj.set("node", static_cast<std::uint64_t>(ni->node()));
+        nj.set("queued_packets",
+               static_cast<std::uint64_t>(info.queuedPackets));
+        nj.set("active_slots",
+               static_cast<std::uint64_t>(info.activeSlots));
+        nj.set("ejection_flits",
+               static_cast<std::uint64_t>(info.ejFlits));
+        if (info.oldestCreated != INVALID_CYCLE) {
+            nj.set("oldest_packet_age",
+                   static_cast<std::uint64_t>(
+                       now - info.oldestCreated));
+        }
+        nis.push(std::move(nj));
+    }
+    doc.set("nis", std::move(nis));
+    return doc;
+}
+
+std::string
+MeshNetwork::diagnosticReport(Cycle now) const
+{
+    return diagnosticSnapshot(now).toString();
+}
+
 bool
 MeshNetwork::drained() const
 {
@@ -255,8 +587,13 @@ MeshNetwork::drained() const
 DoubleNetwork::DoubleNetwork(const MeshNetworkParams &base)
 {
     MeshNetworkParams slice = base;
+    if (base.flitBytes < 2 || base.flitBytes % 2 != 0) {
+        tenoc_fatal("invalid network config: a channel-sliced double"
+                    " network halves the flit width, so flitBytes must"
+                    " be an even value >= 2 (got ", base.flitBytes,
+                    ")");
+    }
     slice.flitBytes = base.flitBytes / 2;
-    tenoc_assert(slice.flitBytes > 0, "cannot slice 1-byte channels");
     slice.protoClasses = 1; // dedicated networks need no protocol VCs
     // Keep each slice's total buffer *storage* equal to the unsliced
     // network by doubling the lanes per class (flits are half-width).
@@ -332,6 +669,16 @@ bool
 DoubleNetwork::drained() const
 {
     return request_->drained() && reply_->drained();
+}
+
+std::string
+DoubleNetwork::diagnosticReport(Cycle now) const
+{
+    telemetry::JsonValue doc = telemetry::JsonValue::makeObject();
+    doc.set("schema", "tenoc-watchdog-double-v1");
+    doc.set("request", request_->diagnosticSnapshot(now));
+    doc.set("reply", reply_->diagnosticSnapshot(now));
+    return doc.toString();
 }
 
 void

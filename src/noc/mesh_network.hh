@@ -13,9 +13,12 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "noc/faults.hh"
+#include "noc/invariants.hh"
 #include "noc/network.hh"
 #include "noc/network_interface.hh"
 #include "noc/router.hh"
+#include "telemetry/json.hh"
 
 namespace tenoc
 {
@@ -48,7 +51,42 @@ struct MeshNetworkParams
     bool idleSkip = true;
     NiParams ni;
     std::uint64_t seed = 1;
+    /**
+     * Runtime invariant checking (see noc/invariants.hh): audits
+     * credit/flit/packet conservation, VC state legality, occupancy
+     * bounds and idle-skip activity every `validateInterval` cycles
+     * and panics on the first inconsistency.  Pure observation — never
+     * changes simulated behaviour.  Off by default for speed; the test
+     * suite turns it on, and TENOC_VALIDATE=1 in the environment
+     * forces it on everywhere.
+     */
+    bool validate = false;
+    Cycle validateInterval = 64;
+    /**
+     * Deadlock/livelock watchdog: when packets are in flight but no
+     * flit moves (no injection, traversal or ejection) for this many
+     * consecutive cycles, the network emits a structured diagnostic
+     * snapshot (written to `watchdogSnapshotPath`) and fails fast
+     * instead of hanging.  0 disables.  Tests install a handler via
+     * MeshNetwork::setWatchdogHandler to observe firings instead of
+     * terminating.
+     */
+    Cycle watchdogWindow = 200000;
+    /** Livelock bound: a packet older than this (cycles since NI
+     *  enqueue) trips the watchdog.  0 disables the age scan. */
+    Cycle maxPacketAge = 0;
+    std::string watchdogSnapshotPath = "tenoc_watchdog_snapshot.json";
+    /** Seeded fault injection (see noc/faults.hh); inert when empty. */
+    FaultConfig faults;
 };
+
+/**
+ * Fatal-checks a MeshNetworkParams for configurations that cannot
+ * simulate (0 VCs, 0-depth buffers, ...) with actionable messages.
+ * Called by the MeshNetwork constructor; exposed for config frontends
+ * that want to fail before constructing anything.
+ */
+void validateMeshNetworkParams(const MeshNetworkParams &params);
 
 /** Cycle-accurate mesh NoC. */
 class MeshNetwork : public Network
@@ -87,7 +125,42 @@ class MeshNetwork : public Network
     Router &router(NodeId n) { return *routers_[n]; }
     const MeshNetworkParams &params() const { return params_; }
 
+    // --- hardening layer ---
+    /** The network's invariant auditor (always wired; only *runs*
+     *  periodically when params().validate is set). */
+    const InvariantChecker &checker() const { return *checker_; }
+    /** Fault stats when fault injection is configured, else nullptr. */
+    const FaultStats *faultStats() const
+    {
+        return faults_ ? &faults_->stats() : nullptr;
+    }
+    /** Replaces the fail-fast watchdog action (snapshot file + exit)
+     *  with `handler`; pass nullptr to restore the default. */
+    void setWatchdogHandler(WatchdogHandler handler)
+    {
+        wd_handler_ = std::move(handler);
+    }
+    /** Structured deadlock-diagnosis snapshot (JSON). */
+    std::string diagnosticReport(Cycle now) const override;
+    /** Same snapshot as a JSON document (schema "tenoc-watchdog-v1"):
+     *  per-router VC states and credits, wait-for edges, oldest packet
+     *  ages, live invariant audit, fault summary. */
+    telemetry::JsonValue diagnosticSnapshot(Cycle now) const;
+
+    /** Test hook: corrupts the O(1) in-flight packet counter by
+     *  `delta` so mutation tests can prove the checker catches it. */
+    void debugAdjustInflight(std::int64_t delta)
+    {
+        inflight_ = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(inflight_) + delta);
+    }
+    /** Test hook: retires router `n` from the active set as if it ran
+     *  dry (an idle-skip scheduling bug the checker must detect). */
+    void debugRetireRouter(NodeId n) { router_active_.clear(n); }
+
   private:
+    void postCycle(Cycle now);
+    void fireWatchdog(Cycle now, const char *reason);
     MeshNetworkParams params_;
     Topology topo_;
     std::unique_ptr<RoutingAlgorithm> routing_;
@@ -112,6 +185,21 @@ class MeshNetwork : public Network
     std::uint64_t inflight_ = 0;
     /** Running sum of router switch traversals (telemetry). */
     std::uint64_t flits_traversed_total_ = 0;
+
+    /** Monotone flit entry/exit counters for THIS network (NetStats
+     *  totals are shared between double-network slices); their
+     *  difference is the exact in-network flit population and their
+     *  sum a progress signal for the watchdog. */
+    std::uint64_t net_flits_in_ = 0;
+    std::uint64_t net_flits_out_ = 0;
+
+    std::unique_ptr<InvariantChecker> checker_;
+    std::unique_ptr<FaultEngine> faults_;
+    Cycle next_check_ = 0;
+
+    WatchdogHandler wd_handler_;
+    std::uint64_t wd_last_progress_ = 0;
+    Cycle wd_last_change_ = 0;
 };
 
 /**
@@ -144,6 +232,16 @@ class DoubleNetwork : public Network
 
     MeshNetwork &requestNet() { return *request_; }
     MeshNetwork &replyNet() { return *reply_; }
+
+    /** Combined snapshot of both slices. */
+    std::string diagnosticReport(Cycle now) const override;
+    /** Installs `handler` on both slices. */
+    void
+    setWatchdogHandler(WatchdogHandler handler)
+    {
+        request_->setWatchdogHandler(handler);
+        reply_->setWatchdogHandler(std::move(handler));
+    }
 
   private:
     MeshNetwork &subnetFor(int proto_class) const;

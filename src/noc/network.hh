@@ -9,6 +9,7 @@
 #define TENOC_NOC_NETWORK_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -127,6 +128,19 @@ class Network
     const NetStats &stats() const
     {
         return const_cast<Network *>(this)->stats();
+    }
+
+    /**
+     * Structured JSON snapshot of the network's internal state
+     * (per-router VC states, credits, oldest packets, wait-for edges)
+     * for deadlock diagnosis.  Harnesses print it when a run fails to
+     * drain.  Default is empty (ideal networks have no such state).
+     */
+    virtual std::string
+    diagnosticReport(Cycle now) const
+    {
+        (void)now;
+        return "";
     }
 
     /** Flits needed to carry a memory operation on this network. */

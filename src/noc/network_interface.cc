@@ -5,6 +5,8 @@
 
 #include "noc/network_interface.hh"
 
+#include <algorithm>
+
 #include "telemetry/trace_sink.hh"
 
 namespace tenoc
@@ -130,6 +132,8 @@ NetworkInterface::injectPhase(Cycle now)
             }
             ++stats_.flitsInjected;
             stats_.nodeInjectedFlits[node_] += 1;
+            if (net_flits_in_)
+                ++*net_flits_in_;
             router_.injectFlit(p, std::move(flit), now);
             ++act.next;
             if (act.next == act.flits.size()) {
@@ -183,6 +187,8 @@ NetworkInterface::drainPhase(Cycle now)
         --ej_occupancy_;
         ++stats_.flitsEjected;
         stats_.nodeEjectedFlits[node_] += 1;
+        if (net_flits_out_)
+            ++*net_flits_out_;
         if (flit.head)
             flit.pkt->headEjectedCycle = now;
         if (flit.tail) {
@@ -227,6 +233,47 @@ bool
 NetworkInterface::idle() const
 {
     return pending_inject_ == 0 && ej_occupancy_ == 0;
+}
+
+NiAuditInfo
+NetworkInterface::audit() const
+{
+    NiAuditInfo info;
+    info.pendingInject = pending_inject_;
+    info.ejOccupancyCounter = ej_occupancy_;
+    info.ejCapacity = params_.ejBufferFlits;
+    info.idle = idle();
+    auto track = [&info](const Packet &pkt) {
+        if (pkt.createdCycle != INVALID_CYCLE &&
+            (info.oldestCreated == INVALID_CYCLE ||
+             pkt.createdCycle < info.oldestCreated)) {
+            info.oldestCreated = pkt.createdCycle;
+        }
+    };
+    for (const auto &q : inj_queues_) {
+        info.queuedPackets += static_cast<unsigned>(q.size());
+        for (const auto &pkt : q)
+            track(*pkt);
+    }
+    for (const auto &port : active_) {
+        for (const auto &act : port) {
+            if (!act.valid)
+                continue;
+            ++info.activeSlots;
+            track(*act.pkt);
+        }
+    }
+    for (const auto &buf : ej_bufs_) {
+        info.ejFlits += static_cast<unsigned>(buf.size());
+        info.maxEjPortOccupancy = std::max(
+            info.maxEjPortOccupancy, static_cast<unsigned>(buf.size()));
+        for (const auto &flit : buf) {
+            if (flit.tail)
+                ++info.ejTails;
+            track(*flit.pkt);
+        }
+    }
+    return info;
 }
 
 } // namespace tenoc

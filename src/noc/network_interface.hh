@@ -36,6 +36,22 @@ struct NiParams
     unsigned ejBufferFlits = 32;
 };
 
+/** Snapshot of one NI's bookkeeping (invariant checker / watchdog). */
+struct NiAuditInfo
+{
+    unsigned queuedPackets = 0;   ///< packets waiting in class queues
+    unsigned activeSlots = 0;     ///< packets mid-injection
+    unsigned pendingInject = 0;   ///< NI's cached queued+active counter
+    unsigned ejFlits = 0;         ///< flits buffered across ej ports
+    unsigned ejTails = 0;         ///< tail flits among those
+    unsigned ejOccupancyCounter = 0; ///< NI's cached ejection counter
+    unsigned maxEjPortOccupancy = 0; ///< fullest single ejection port
+    unsigned ejCapacity = 0;      ///< configured flits per ej port
+    bool idle = false;
+    /** Earliest createdCycle among held packets (INVALID_CYCLE if none). */
+    Cycle oldestCreated = INVALID_CYCLE;
+};
+
 class NetworkInterface : public EjectionSink
 {
   public:
@@ -64,6 +80,24 @@ class NetworkInterface : public EjectionSink
     /** Points packet arrivals/departures at the owning network's
      *  in-flight counter, making Network::drained() O(1). */
     void setInFlightCounter(std::uint64_t *c) { inflight_ = c; }
+
+    /**
+     * Points per-flit router entry/exit at two monotone network-level
+     * counters.  Their difference is the exact flit population of the
+     * network (router buffers + channels + ejection buffers), checked
+     * by the invariant checker; their sum is a per-network progress
+     * signal for the deadlock watchdog (NetStats totals are shared
+     * between double-network slices and cannot serve either purpose).
+     */
+    void
+    setNetFlitCounters(std::uint64_t *injected, std::uint64_t *ejected)
+    {
+        net_flits_in_ = injected;
+        net_flits_out_ = ejected;
+    }
+
+    /** Snapshot of queue/buffer bookkeeping for the checker. */
+    NiAuditInfo audit() const;
 
     /** Attaches (or detaches, with nullptr) a flit-event tracer. */
     void setTracer(telemetry::TraceSink *tracer) { tracer_ = tracer; }
@@ -112,6 +146,8 @@ class NetworkInterface : public EjectionSink
     ActiveSet *active_set_ = nullptr;
     unsigned active_idx_ = 0;
     std::uint64_t *inflight_ = nullptr;
+    std::uint64_t *net_flits_in_ = nullptr;
+    std::uint64_t *net_flits_out_ = nullptr;
 
     /** Packets queued or mid-injection (inj queues + active slots). */
     unsigned pending_inject_ = 0;

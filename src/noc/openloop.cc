@@ -5,6 +5,7 @@
 
 #include "noc/openloop.hh"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/log.hh"
@@ -18,6 +19,14 @@ runOpenLoop(const OpenLoopParams &params)
 {
     MeshNetworkParams net_params = params.net;
     net_params.seed = params.seed;
+    // A genuine deadlock (routing bug, injected fault) would otherwise
+    // sit silently until the bounded loop runs out; cap the watchdog
+    // window at the drain budget so it fires — with a diagnostic
+    // snapshot — before the run just peters out.
+    if (net_params.watchdogWindow != 0 && params.drainCycles != 0) {
+        net_params.watchdogWindow =
+            std::min(net_params.watchdogWindow, params.drainCycles);
+    }
     // The paper's open-loop runs use a single network with two logical
     // (request/reply) networks; keep whatever protoClasses the caller
     // configured.

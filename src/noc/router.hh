@@ -158,6 +158,87 @@ class Router
     /** Attaches (or detaches, with nullptr) a flit-event tracer. */
     void setTracer(telemetry::TraceSink *tracer) { tracer_ = tracer; }
 
+    // --- introspection (invariant checker / watchdog / tests) ---
+    /** Pipeline state of input VC (`in`, `vc`). */
+    VcState vcState(unsigned in, unsigned vc) const
+    {
+        return inputs_[in].state(vc);
+    }
+    /** Output port assigned to input VC (`in`, `vc`) by RC. */
+    unsigned vcOutPort(unsigned in, unsigned vc) const
+    {
+        return inputs_[in].outPort(vc);
+    }
+    /** Output VC granted to input VC (`in`, `vc`) by VA. */
+    unsigned vcOutVc(unsigned in, unsigned vc) const
+    {
+        return inputs_[in].outVc(vc);
+    }
+    /** Flits buffered on input VC (`in`, `vc`). */
+    std::size_t vcOccupancy(unsigned in, unsigned vc) const
+    {
+        return inputs_[in].occupancy(vc);
+    }
+    /** Head flit of input VC (`in`, `vc`), or nullptr when empty. */
+    const Flit *
+    vcFront(unsigned in, unsigned vc) const
+    {
+        return inputs_[in].empty(vc) ? nullptr : &inputs_[in].front(vc);
+    }
+    /** Credits held for downstream VC (`out`, `vc`). */
+    unsigned outputCredits(unsigned out, unsigned vc) const
+    {
+        return outputs_[out].vcs[vc].credits;
+    }
+    /** @return true if output VC (`out`, `vc`) is owned by a packet. */
+    bool outputVcOwned(unsigned out, unsigned vc) const
+    {
+        return outputs_[out].vcs[vc].owned;
+    }
+    /** Owning input port of output VC (`out`, `vc`) (owned only). */
+    unsigned outputVcOwnerIn(unsigned out, unsigned vc) const
+    {
+        return outputs_[out].vcs[vc].ownerIn;
+    }
+    /** Owning input VC of output VC (`out`, `vc`) (owned only). */
+    unsigned outputVcOwnerVc(unsigned out, unsigned vc) const
+    {
+        return outputs_[out].vcs[vc].ownerVc;
+    }
+    /** @return true if direction output `d` is wired to a channel. */
+    bool
+    outputConnected(unsigned d) const
+    {
+        return d < NUM_DIRS && outputs_[d].flitOut != nullptr;
+    }
+    /** Calls f(in, vc, flit) for every buffered flit. */
+    template <typename F>
+    void
+    forEachBufferedFlit(F &&f) const
+    {
+        for (unsigned in = 0; in < numInputs(); ++in) {
+            inputs_[in].forEachFlit(
+                [&](unsigned vc, const Flit &flit) { f(in, vc, flit); });
+        }
+    }
+
+    // --- fault hooks (FaultEngine / mutation tests) ---
+    /**
+     * Deliberately leaks one downstream credit on output VC
+     * (`out`, `vc`): the buffer slot it represents is never usable
+     * again.  No-op at zero credits.  @return true if a credit was
+     * dropped.
+     */
+    bool
+    dropCredit(unsigned out, unsigned vc)
+    {
+        auto &ovc = outputs_[out].vcs[vc];
+        if (ovc.credits == 0)
+            return false;
+        --ovc.credits;
+        return true;
+    }
+
   private:
     void routeCompute(Cycle now);
     void vcAllocate(Cycle now);

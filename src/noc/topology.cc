@@ -37,10 +37,18 @@ defaultCheckerboardMcs6x6()
 
 Topology::Topology(const TopologyParams &params) : params_(params)
 {
-    tenoc_assert(params_.rows >= 2 && params_.cols >= 2,
-                 "mesh must be at least 2x2");
+    if (params_.rows < 2 || params_.cols < 2) {
+        tenoc_fatal("invalid topology: a mesh needs at least 2x2 nodes"
+                    " (got ", params_.rows, "x", params_.cols,
+                    "); set rows/cols >= 2");
+    }
     const unsigned n = numNodes();
-    tenoc_assert(params_.numMcs < n, "all nodes cannot be MCs");
+    if (params_.numMcs >= n) {
+        tenoc_fatal("invalid topology: numMcs=", params_.numMcs,
+                    " must leave at least one compute node on a ",
+                    params_.rows, "x", params_.cols, " mesh (", n,
+                    " nodes total)");
+    }
     is_mc_.assign(n, false);
     is_half_.assign(n, false);
 
@@ -74,9 +82,18 @@ void
 Topology::placeMcs()
 {
     auto mark = [&](unsigned x, unsigned y) {
+        if (x >= params_.cols || y >= params_.rows) {
+            tenoc_fatal("invalid topology: MC placement (", x, ",", y,
+                        ") is off the ", params_.cols, "x",
+                        params_.rows,
+                        " mesh; coordinates must satisfy x < cols and"
+                        " y < rows");
+        }
         NodeId id = nodeAt(x, y);
-        tenoc_assert(!is_mc_[id], "duplicate MC placement at (", x, ",",
-                     y, ")");
+        if (is_mc_[id]) {
+            tenoc_fatal("invalid topology: duplicate MC placement at (",
+                        x, ",", y, "); every MC needs a distinct node");
+        }
         is_mc_[id] = true;
     };
 
@@ -86,8 +103,12 @@ Topology::placeMcs()
         // the central columns (Fig. 3).
         const unsigned per_row = params_.numMcs / 2;
         const unsigned rem = params_.numMcs % 2;
-        tenoc_assert(per_row + rem <= params_.cols,
-                     "too many MCs for top/bottom placement");
+        if (per_row + rem > params_.cols) {
+            tenoc_fatal("invalid topology: top/bottom placement fits at"
+                        " most ", 2 * params_.cols, " MCs on a ",
+                        params_.cols, "-column mesh (requested ",
+                        params_.numMcs, ")");
+        }
         const unsigned start_top = (params_.cols - (per_row + rem)) / 2;
         for (unsigned i = 0; i < per_row + rem; ++i)
             mark(start_top + i, 0);
@@ -109,8 +130,12 @@ Topology::placeMcs()
                 for (unsigned x = 0; x < params_.cols; ++x)
                     if (parity(x, y) == 1)
                         odd_cells.emplace_back(x, y);
-            tenoc_assert(params_.numMcs <= odd_cells.size(),
-                         "too many MCs for checkerboard placement");
+            if (params_.numMcs > odd_cells.size()) {
+                tenoc_fatal("invalid topology: checkerboard placement"
+                            " has only ", odd_cells.size(),
+                            " half-router cells for ", params_.numMcs,
+                            " MCs; reduce numMcs or grow the mesh");
+            }
             const double stride =
                 static_cast<double>(odd_cells.size()) / params_.numMcs;
             for (unsigned i = 0; i < params_.numMcs; ++i)
@@ -122,8 +147,12 @@ Topology::placeMcs()
         break;
       }
       case McPlacement::CUSTOM: {
-        tenoc_assert(params_.customMcs.size() == params_.numMcs,
-                     "customMcs size must equal numMcs");
+        if (params_.customMcs.size() != params_.numMcs) {
+            tenoc_fatal("invalid topology: custom placement lists ",
+                        params_.customMcs.size(),
+                        " MC coordinates but numMcs=", params_.numMcs,
+                        "; the two must match");
+        }
         for (auto [x, y] : params_.customMcs)
             mark(x, y);
         break;

@@ -124,6 +124,10 @@ netParams(const std::string &routing, std::uint64_t seed,
     p.routing = routing;
     p.seed = seed;
     p.idleSkip = idle_skip;
+    // Audit invariants in both scheduler modes: the checker must stay
+    // clean and must not perturb a single statistic.
+    p.validate = true;
+    p.validateInterval = 16;
     if (routing == "cr") {
         p.topo.placement = McPlacement::CHECKERBOARD;
         p.topo.checkerboardRouters = true;
@@ -176,6 +180,7 @@ TEST(IdleSkipEquivalence, OpenLoopResultsIdentical)
         p.seed = 5;
         p.warmupCycles = 500;
         p.measureCycles = 2000;
+        p.net.validate = true;
         p.net.idleSkip = false;
         const auto full = runOpenLoop(p);
         p.net.idleSkip = true;

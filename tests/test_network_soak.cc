@@ -61,6 +61,12 @@ TEST_P(NetworkSoak, ConservationUnderRandomTraffic)
     p.mcInjPorts = cfg.mcInjPorts;
     p.mcEjPorts = cfg.mcEjPorts;
     p.seed = 31337;
+    // Full hardening during the soak: audit every invariant on a tight
+    // stride and keep the deadlock watchdog well inside the drain
+    // deadline so a hang fails with a diagnosis, not a timeout.
+    p.validate = true;
+    p.validateInterval = 16;
+    p.watchdogWindow = 10000;
     if (cfg.checkerboard) {
         p.topo.placement = McPlacement::CHECKERBOARD;
         p.topo.checkerboardRouters = true;
@@ -117,7 +123,9 @@ TEST_P(NetworkSoak, ConservationUnderRandomTraffic)
     const Cycle deadline = t + 20000;
     while (!net->drained() && t < deadline)
         net->cycle(t++);
-    ASSERT_TRUE(net->drained()) << "network failed to drain";
+    ASSERT_TRUE(net->drained())
+        << "network failed to drain; diagnostic snapshot:\n"
+        << net->diagnosticReport(t);
 
     unsigned mc_packets = 0;
     unsigned core_packets = 0;
