@@ -52,6 +52,10 @@ class FreeListPool
     T *
     allocate()
     {
+        if (bypass_) {
+            ++bypass_live_;
+            return new T();
+        }
         if (free_.empty())
             grow();
         T *obj = free_.back();
@@ -65,12 +69,40 @@ class FreeListPool
     void
     release(T *obj)
     {
+        if (bypass_) {
+            tenoc_assert(bypass_live_ > 0,
+                         "pool bypass release without allocation");
+            --bypass_live_;
+            delete obj;
+            return;
+        }
         if (validate_ && !free_set_.insert(obj).second) {
             tenoc_panic("pool double-release: object ", obj,
                         " is already on the freelist");
         }
         free_.push_back(obj);
     }
+
+    /**
+     * Routes allocate()/release() through plain new/delete instead of
+     * the freelist.  The reference allocator for pooled-vs-heap
+     * bit-identity checks (the recycled-state fast path must never be
+     * behavioural).  May only be toggled while no objects are live:
+     * an object must be released by the same mechanism that produced
+     * it.
+     */
+    void
+    setBypass(bool on)
+    {
+        if (on == bypass_)
+            return;
+        tenoc_assert(liveObjects() == 0 && bypass_live_ == 0,
+                     "pool bypass toggled with live objects");
+        bypass_ = on;
+    }
+
+    /** @return true while the heap-bypass reference mode is active. */
+    bool bypassed() const { return bypass_; }
 
     /**
      * Enables (or disables) double-release checking.  Turning it on
@@ -115,6 +147,9 @@ class FreeListPool
     std::size_t chunk_objects_;
     std::vector<std::unique_ptr<T[]>> chunks_;
     std::vector<T *> free_;
+    bool bypass_ = false;
+    /** Objects handed out by the bypass path and not yet released. */
+    std::size_t bypass_live_ = 0;
     bool validate_ = false;
     /** Shadow of `free_` for double-release detection (validate mode). */
     std::unordered_set<T *> free_set_;

@@ -90,4 +90,15 @@ Rng::nextBool(double p)
     return nextDouble() < p;
 }
 
+std::uint64_t
+deriveStreamSeed(std::uint64_t global_seed, std::uint64_t component_id)
+{
+    // Whiten the global seed first so trivially related globals
+    // (seed, seed+1, ...) cannot collide with component-id offsets.
+    std::uint64_t x = global_seed;
+    const std::uint64_t whitened = splitMix64(x);
+    x = whitened ^ component_id;
+    return splitMix64(x);
+}
+
 } // namespace tenoc

@@ -53,6 +53,18 @@ class Rng
     std::uint64_t s_[4];
 };
 
+/**
+ * Derives an independent per-component stream seed from a global seed
+ * via SplitMix64: the global seed is whitened through one SplitMix64
+ * step and the component id mixed through another, so component k's
+ * stream depends only on (global seed, k).  Adding or removing a
+ * component therefore never perturbs any other component's draws,
+ * unlike handing every component one shared generator (where each
+ * draw shifts everyone else's sequence).
+ */
+std::uint64_t deriveStreamSeed(std::uint64_t global_seed,
+                               std::uint64_t component_id);
+
 } // namespace tenoc
 
 #endif // TENOC_COMMON_RNG_HH

@@ -114,11 +114,13 @@ NetStats::registerStats(StatGroup &group)
 }
 
 MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
-                         NetStats *shared_stats)
+                         NetStats *shared_stats, std::uint64_t *shared_ids)
     : params_(params), topo_(params.topo),
       routing_(makeRouting(params.routing, topo_)),
       rng_(params.seed)
 {
+    if (shared_ids)
+        pkt_ids_ = shared_ids;
     validateMeshNetworkParams(params_);
     if (validateForcedByEnv())
         params_.validate = true;
@@ -234,7 +236,7 @@ MeshNetwork::inject(PacketPtr pkt, Cycle now)
 {
     tenoc_assert(pkt->src < topo_.numNodes() &&
                  pkt->dst < topo_.numNodes(), "invalid endpoints");
-    pkt->id = next_pkt_id_++;
+    pkt->id = (*pkt_ids_)++;
     routing_->initPacket(*pkt, rng_);
     nis_[pkt->src]->enqueue(std::move(pkt), now);
 }
@@ -609,12 +611,14 @@ DoubleNetwork::DoubleNetwork(const MeshNetworkParams &base)
     // the multi-port upgrade applies to one slice each (Sec. IV-D).
     MeshNetworkParams req_slice = slice;
     req_slice.mcInjPorts = 1;
-    request_ = std::make_unique<MeshNetwork>(req_slice, stats_.get());
+    request_ = std::make_unique<MeshNetwork>(req_slice, stats_.get(),
+                                             &next_pkt_id_);
 
     MeshNetworkParams rep_slice = slice;
     rep_slice.mcEjPorts = 1;
     rep_slice.seed = base.seed + 0x9e3779b9ULL;
-    reply_ = std::make_unique<MeshNetwork>(rep_slice, stats_.get());
+    reply_ = std::make_unique<MeshNetwork>(rep_slice, stats_.get(),
+                                           &next_pkt_id_);
 }
 
 unsigned

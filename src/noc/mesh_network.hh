@@ -97,9 +97,14 @@ class MeshNetwork : public Network
      * @param shared_stats optional external stats block (used by
      *        DoubleNetwork to aggregate both slices); when null the
      *        network owns its stats.
+     * @param shared_ids optional external packet-id counter (used by
+     *        DoubleNetwork so ids stay unique across both slices —
+     *        telemetry traces and differential shadows key on them);
+     *        when null the network numbers packets itself.
      */
     explicit MeshNetwork(const MeshNetworkParams &params,
-                         NetStats *shared_stats = nullptr);
+                         NetStats *shared_stats = nullptr,
+                         std::uint64_t *shared_ids = nullptr);
 
     const Topology &topology() const override { return topo_; }
     unsigned flitBytes() const override { return params_.flitBytes; }
@@ -174,7 +179,10 @@ class MeshNetwork : public Network
 
     std::unique_ptr<NetStats> owned_stats_;
     NetStats *stats_;
-    std::uint64_t next_pkt_id_ = 1;
+    std::uint64_t own_pkt_ids_ = 1;
+    /** Points at own_pkt_ids_, or at the DoubleNetwork's shared
+     *  counter so both slices draw from one id space. */
+    std::uint64_t *pkt_ids_ = &own_pkt_ids_;
 
     /** Routers that may have work this cycle (idle-skip). */
     ActiveSet router_active_;
@@ -247,6 +255,8 @@ class DoubleNetwork : public Network
     MeshNetwork &subnetFor(int proto_class) const;
 
     std::unique_ptr<NetStats> stats_;
+    /** Shared packet-id counter: ids must stay unique across slices. */
+    std::uint64_t next_pkt_id_ = 1;
     std::unique_ptr<MeshNetwork> request_;
     std::unique_ptr<MeshNetwork> reply_;
 };

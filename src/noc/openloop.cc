@@ -10,6 +10,7 @@
 
 #include "common/log.hh"
 #include "noc/traffic.hh"
+#include "telemetry/telemetry.hh"
 
 namespace tenoc
 {
@@ -33,26 +34,47 @@ runOpenLoop(const OpenLoopParams &params)
     MeshNetwork net(net_params);
     const Topology &topo = net.topology();
 
-    Rng rng(params.seed ^ 0xfeedfaceULL);
+    if (params.telemetry) {
+        net.attachTelemetry(*params.telemetry);
+        // Warmup cycles land in a dedicated leading interval row so no
+        // measurement window mixes warmup and measured traffic.
+        if (auto *sampler = params.telemetry->sampler())
+            sampler->alignTo(params.warmupCycles);
+    }
+
+    // One independent stream per source: a node's Bernoulli draws and
+    // destination picks depend only on (seed, node), never on how many
+    // draws its neighbors happened to make.
+    const std::uint64_t traffic_seed = params.seed ^ 0xfeedfaceULL;
+    Rng shared_rng(traffic_seed);
     DestinationChooser dests(topo.mcNodes(), params.hotspotFraction);
 
     Accumulator req_lat("req_latency");
     Accumulator rep_lat("rep_latency");
+    OpenLoopMeasure measure;
 
+    std::vector<std::unique_ptr<Rng>> source_rngs;
     std::vector<std::unique_ptr<OpenLoopSource>> sources;
     std::vector<std::unique_ptr<McEchoSink>> mcs;
     std::vector<std::unique_ptr<CollectorSink>> cores;
 
     for (NodeId n : topo.computeNodes()) {
+        Rng *rng = &shared_rng;
+        if (!params.legacySharedRng) {
+            source_rngs.push_back(std::make_unique<Rng>(
+                deriveStreamSeed(traffic_seed, n)));
+            rng = source_rngs.back().get();
+        }
         sources.push_back(std::make_unique<OpenLoopSource>(
             n, params.injectionRate, params.requestFlits, dests, net,
-            rng));
-        cores.push_back(std::make_unique<CollectorSink>(rep_lat));
+            *rng));
+        cores.push_back(
+            std::make_unique<CollectorSink>(rep_lat, &measure));
         net.setSink(n, cores.back().get());
     }
     for (NodeId n : topo.mcNodes()) {
         mcs.push_back(std::make_unique<McEchoSink>(
-            n, params.replyFlits, net, req_lat));
+            n, params.replyFlits, net, req_lat, &measure));
         net.setSink(n, mcs.back().get());
     }
 
@@ -61,12 +83,9 @@ runOpenLoop(const OpenLoopParams &params)
     bool saturated = false;
 
     Cycle now = 0;
-    std::uint64_t ejected_flits_start = 0;
     for (; now < hard_end; ++now) {
         const bool measuring =
             now >= params.warmupCycles && now < measure_end;
-        if (now == params.warmupCycles)
-            ejected_flits_start = net.stats().flitsEjected;
         // Generation stops at the end of the measurement window so the
         // network can drain the tagged packets.
         if (now < measure_end) {
@@ -76,6 +95,8 @@ runOpenLoop(const OpenLoopParams &params)
         for (auto &m : mcs)
             m->cycle(now);
         net.cycle(now);
+        if (params.telemetry)
+            params.telemetry->tick(now);
 
         if (now == measure_end) {
             for (auto &s : sources) {
@@ -84,6 +105,8 @@ runOpenLoop(const OpenLoopParams &params)
             }
         }
     }
+    if (params.telemetry)
+        params.telemetry->finish(now);
 
     // If tagged traffic never fully drained we are far past saturation.
     for (auto &s : sources)
@@ -96,9 +119,10 @@ runOpenLoop(const OpenLoopParams &params)
     OpenLoopResult r;
     r.offeredLoad = params.injectionRate *
         static_cast<double>(params.requestFlits);
-    const std::uint64_t ejected =
-        net.stats().flitsEjected - ejected_flits_start;
-    r.acceptedLoad = static_cast<double>(ejected) /
+    // Accepted load counts only measurement-tagged deliveries — the
+    // same population the latency accumulators sample — so warmup
+    // stragglers draining after the window opens no longer inflate it.
+    r.acceptedLoad = static_cast<double>(measure.taggedFlitsDelivered) /
         (static_cast<double>(params.measureCycles) * topo.numNodes());
     r.avgRequestLatency = req_lat.mean();
     r.avgReplyLatency = rep_lat.mean();

@@ -33,13 +33,28 @@ struct OpenLoopParams
      *  queueing). */
     double saturationLatency = 300.0;
     std::uint64_t seed = 12345;
+    /**
+     * Drive every source from one shared Rng (the pre-stream-split
+     * behavior) instead of per-source SplitMix64-derived streams.  Only
+     * for pinned-seed compatibility tests; shared-generator draws make
+     * every node's traffic depend on every other node's draw order.
+     */
+    bool legacySharedRng = false;
+    /**
+     * Optional telemetry hub: attached to the network, aligned so the
+     * interval CSV's warmup cycles land in a dedicated leading row, and
+     * ticked/finished by the harness.  Not owned.
+     */
+    telemetry::TelemetryHub *telemetry = nullptr;
 };
 
 /** Results of one open-loop run. */
 struct OpenLoopResult
 {
     double offeredLoad = 0.0;   ///< flits/cycle/compute node offered
-    double acceptedLoad = 0.0;  ///< flits/cycle/node actually ejected
+    /** Measurement-tagged flits delivered per cycle per node (same
+     *  packet population as the latency statistics). */
+    double acceptedLoad = 0.0;
     double avgLatency = 0.0;    ///< mean packet latency (cycles)
     double avgRequestLatency = 0.0;
     double avgReplyLatency = 0.0;

@@ -73,14 +73,23 @@ CheckerboardRouting::twoPhaseCandidates(NodeId src, NodeId dst) const
         if (iy == sy)
             continue; // waypoint must not share the source row
         for (unsigned ix = x_lo; ix <= x_hi; ++ix) {
-            // Even number of columns from the source (Sec. IV-B); this
-            // plus full-router parity makes both the YX turn at
-            // (sx, iy) and the XY turn at (dx, iy) land on full
-            // routers.
+            // Even number of columns from the source (Sec. IV-B):
+            // together with full-router parity this puts the YX turn
+            // at (sx, iy) on a full router.
             if ((ix > sx ? ix - sx : sx - ix) % 2 != 0)
                 continue;
             const NodeId cand = topo_.nodeAt(ix, iy);
             if (topo_.isHalfRouter(cand))
+                continue;
+            // The XY leg turns at (dx, iy) whenever both of its
+            // dimensions are non-degenerate; that node must be a full
+            // router too.  Parity only guarantees it for half-router
+            // sources — a full-router source whose minimal quadrant
+            // offers only half-router XY turn columns (e.g. rows
+            // hugging a mesh edge) would otherwise be handed a
+            // waypoint whose second leg turns illegally.
+            if (ix != dx && iy != dy &&
+                topo_.isHalfRouter(topo_.nodeAt(dx, iy)))
                 continue;
             out.push_back(cand);
         }

@@ -20,6 +20,18 @@ DestinationChooser::DestinationChooser(std::vector<NodeId> mcs,
 }
 
 NodeId
+DestinationChooser::pick(Rng &rng, NodeId exclude) const
+{
+    tenoc_assert(mcs_.size() > 1 || mcs_[0] != exclude,
+                 "destination exclusion leaves no candidates");
+    NodeId d;
+    do {
+        d = pick(rng);
+    } while (d == exclude);
+    return d;
+}
+
+NodeId
 DestinationChooser::pick(Rng &rng) const
 {
     if (hotspot_fraction_ > 0.0 && rng.nextBool(hotspot_fraction_))
@@ -65,9 +77,10 @@ OpenLoopSource::cycle(Cycle now, bool measuring)
 }
 
 McEchoSink::McEchoSink(NodeId node, unsigned reply_flits, Network &net,
-                       Accumulator &req_latency)
+                       Accumulator &req_latency,
+                       OpenLoopMeasure *measure)
     : node_(node), reply_flits_(reply_flits), net_(net),
-      req_latency_(req_latency)
+      req_latency_(req_latency), measure_(measure)
 {}
 
 bool
@@ -80,8 +93,13 @@ McEchoSink::tryReserve(const Packet &pkt)
 void
 McEchoSink::deliver(PacketPtr pkt, Cycle now)
 {
-    if (pkt->tag & 1)
+    if (pkt->tag & 1) {
         req_latency_.sample(static_cast<double>(now - pkt->createdCycle));
+        if (measure_) {
+            measure_->taggedFlitsDelivered += pkt->sizeFlits;
+            ++measure_->taggedPacketsDelivered;
+        }
+    }
     auto reply = makePacket();
     reply->src = node_;
     reply->dst = pkt->src;

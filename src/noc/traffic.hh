@@ -35,9 +35,32 @@ class DestinationChooser
 
     NodeId pick(Rng &rng) const;
 
+    /**
+     * Picks a destination that is never `exclude` (a node must not
+     * address itself).  Re-draws until the draw differs — conditioning
+     * the distribution on "!= exclude" — which keeps the remaining
+     * destinations at their exact relative probabilities, where a
+     * shift/modulo skip would bias the neighbour of `exclude`.
+     */
+    NodeId pick(Rng &rng, NodeId exclude) const;
+
   private:
     std::vector<NodeId> mcs_;
     double hotspot_fraction_;
+};
+
+/**
+ * Measurement-window accounting shared by the open-loop sinks: flits
+ * and packets of measurement-tagged packets that completed delivery.
+ * Throughput derived from these counters covers exactly the packets
+ * whose latency is sampled (tag bit 0), so latency and accepted-load
+ * statistics describe the same population — packets generated during
+ * warmup contribute to neither.
+ */
+struct OpenLoopMeasure
+{
+    std::uint64_t taggedFlitsDelivered = 0;
+    std::uint64_t taggedPacketsDelivered = 0;
 };
 
 /**
@@ -77,7 +100,8 @@ class McEchoSink : public PacketSink
 {
   public:
     McEchoSink(NodeId node, unsigned reply_flits, Network &net,
-               Accumulator &req_latency);
+               Accumulator &req_latency,
+               OpenLoopMeasure *measure = nullptr);
 
     bool tryReserve(const Packet &pkt) override;
     void deliver(PacketPtr pkt, Cycle now) override;
@@ -92,6 +116,7 @@ class McEchoSink : public PacketSink
     unsigned reply_flits_;
     Network &net_;
     Accumulator &req_latency_;
+    OpenLoopMeasure *measure_;
     std::deque<PacketPtr> replies_;
 };
 
@@ -99,8 +124,9 @@ class McEchoSink : public PacketSink
 class CollectorSink : public PacketSink
 {
   public:
-    explicit CollectorSink(Accumulator &latency)
-        : latency_(latency)
+    explicit CollectorSink(Accumulator &latency,
+                           OpenLoopMeasure *measure = nullptr)
+        : latency_(latency), measure_(measure)
     {}
 
     bool tryReserve(const Packet &pkt) override
@@ -113,12 +139,18 @@ class CollectorSink : public PacketSink
     deliver(PacketPtr pkt, Cycle now) override
     {
         // tag bit 0 marks packets generated in the measurement window
-        if (pkt->tag & 1)
+        if (pkt->tag & 1) {
             latency_.sample(static_cast<double>(now - pkt->createdCycle));
+            if (measure_) {
+                measure_->taggedFlitsDelivered += pkt->sizeFlits;
+                ++measure_->taggedPacketsDelivered;
+            }
+        }
     }
 
   private:
     Accumulator &latency_;
+    OpenLoopMeasure *measure_;
 };
 
 } // namespace tenoc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Replays every minimized fuzz repro checked into tests/corpus/
+ * through the full differential-testing oracle battery.  Each corpus
+ * file is a configuration that once exposed a bug; it must parse, be
+ * legal, and pass forever.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "noc/golden/diff.hh"
+
+#ifndef TENOC_CORPUS_DIR
+#error "TENOC_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace tenoc
+{
+namespace
+{
+
+std::vector<std::filesystem::path>
+corpusFiles()
+{
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(TENOC_CORPUS_DIR)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".cfg")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(FuzzCorpus, HasSeedEntries)
+{
+    // The corpus is never empty: the burn-down checked in one repro
+    // per bug the fuzzer surfaced.
+    EXPECT_GE(corpusFiles().size(), 3u);
+}
+
+TEST(FuzzCorpus, EveryReproReplaysClean)
+{
+    for (const auto &path : corpusFiles()) {
+        SCOPED_TRACE(path.filename().string());
+
+        std::ifstream in(path);
+        ASSERT_TRUE(in) << "unreadable corpus file";
+        std::ostringstream text;
+        text << in.rdbuf();
+
+        DiffConfig cfg;
+        std::string err;
+        ASSERT_TRUE(DiffConfig::parse(text.str(), cfg, &err)) << err;
+
+        const DiffReport rep = runDiff(cfg);
+        EXPECT_TRUE(rep.ok())
+            << rep.violations.size() << " violations, first: "
+            << rep.violations.front();
+    }
+}
+
+} // namespace
+} // namespace tenoc

@@ -7,6 +7,7 @@
 
 #include "noc/openloop.hh"
 #include "noc/traffic.hh"
+#include "telemetry/telemetry.hh"
 
 namespace tenoc
 {
@@ -46,6 +47,90 @@ TEST(DestinationChooser, HotspotFractionRespected)
     for (int i = 0; i < 10000; ++i)
         hot += (dc.pick(rng) == 10);
     EXPECT_NEAR(hot / 10000.0, 0.4, 0.03);
+}
+
+TEST(DestinationChooser, ExclusionDrawIsUnbiased)
+{
+    // Drawing a destination while excluding the source must condition
+    // the uniform distribution, not bias it (a modulo-skip would
+    // overweight the excluded slot's successor).  Chi-squared test
+    // over the three remaining MCs.
+    std::vector<NodeId> mcs{10, 11, 12, 13};
+    DestinationChooser dc(mcs, 0.0);
+    Rng rng(5);
+    const int n = 9000;
+    std::map<NodeId, int> counts;
+    for (int i = 0; i < n; ++i) {
+        const NodeId d = dc.pick(rng, 11);
+        ASSERT_NE(d, 11u);
+        ++counts[d];
+    }
+    const double expect = n / 3.0;
+    double chi2 = 0.0;
+    for (NodeId mc : {10u, 12u, 13u}) {
+        const double dev = counts[mc] - expect;
+        chi2 += dev * dev / expect;
+    }
+    // 99.9th percentile of chi-squared with 2 degrees of freedom.
+    EXPECT_LT(chi2, 13.82);
+}
+
+TEST(DestinationChooser, ExclusionOfNonMemberChangesNothing)
+{
+    std::vector<NodeId> mcs{10, 11, 12, 13};
+    DestinationChooser dc(mcs, 0.0);
+    Rng a(6), b(6);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(dc.pick(a), dc.pick(b, 99));
+}
+
+TEST(OpenLoop, LegacySharedRngReproducesPinnedStats)
+{
+    // Pinned latency statistics from the pre-stream-split harness
+    // (one shared Rng for all sources).  The compat flag must
+    // reproduce them bit for bit; if this ever breaks, the legacy
+    // draw order changed.
+    OpenLoopParams p = quickParams(0.03);
+    p.legacySharedRng = true;
+    auto r = runOpenLoop(p);
+    EXPECT_NEAR(r.avgLatency, 30.3652355397, 1e-9);
+    EXPECT_NEAR(r.avgRequestLatency, 25.7930828861, 1e-9);
+    EXPECT_NEAR(r.avgReplyLatency, 34.9373881932, 1e-9);
+    EXPECT_DOUBLE_EQ(r.p95Latency, 60.0);
+}
+
+TEST(OpenLoop, PerSourceStreamsAreDeterministic)
+{
+    auto r1 = runOpenLoop(quickParams(0.03));
+    auto r2 = runOpenLoop(quickParams(0.03));
+    EXPECT_DOUBLE_EQ(r1.avgLatency, r2.avgLatency);
+    EXPECT_DOUBLE_EQ(r1.acceptedLoad, r2.acceptedLoad);
+    // And the stream split really changed the schedule vs legacy.
+    OpenLoopParams legacy = quickParams(0.03);
+    legacy.legacySharedRng = true;
+    auto r3 = runOpenLoop(legacy);
+    EXPECT_NE(r1.avgLatency, r3.avgLatency);
+}
+
+TEST(OpenLoop, TelemetryWarmupLandsInDedicatedIntervalRow)
+{
+    OpenLoopParams p = quickParams(0.02);
+    telemetry::TelemetryConfig cfg;
+    cfg.intervalCsvPath = "-"; // any non-empty value enables sampling
+    cfg.intervalCycles = 1000;
+    telemetry::TelemetryHub hub(cfg);
+    p.telemetry = &hub;
+    runOpenLoop(p);
+
+    auto *s = hub.sampler();
+    ASSERT_NE(s, nullptr);
+    ASSERT_GE(s->numRows(), 2u);
+    // Row 0 is exactly the warmup; measurement windows start at its
+    // boundary, so warmup-injected traffic never leaks into them.
+    EXPECT_EQ(s->rowStart(0), 0u);
+    EXPECT_EQ(s->rowEnd(0), p.warmupCycles);
+    EXPECT_EQ(s->rowStart(1), p.warmupCycles);
+    EXPECT_EQ(s->rowEnd(1), p.warmupCycles + cfg.intervalCycles);
 }
 
 TEST(OpenLoop, LowLoadLatencyNearZeroLoad)

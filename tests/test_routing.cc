@@ -222,6 +222,98 @@ TEST(CheckerboardRouting, FullToFullOddDistanceIsImpossible)
     EXPECT_DEATH(cr.initPacket(pkt, rng), "not routable");
 }
 
+/**
+ * Directed boundary cases, one per mesh edge: full-to-full odd/odd
+ * pairs whose source or destination hugs an edge row/column of
+ * half-routers.  Before the waypoint filter checked the *second* leg's
+ * XY turn node, each of these pairs got a waypoint whose phase-2 turn
+ * landed on an edge half-router; now the candidate set is empty and
+ * initPacket refuses (the pair is genuinely unroutable).
+ */
+TEST(CheckerboardRouting, TopEdgeOddPairHasNoWaypoint)
+{
+    Topology t = checkerboardTopo();
+    CheckerboardRouting cr(t);
+    Rng rng(8);
+    const NodeId src = t.nodeAt(0, 0), dst = t.nodeAt(1, 3);
+    EXPECT_TRUE(cr.twoPhaseCandidates(src, dst).empty());
+    Packet pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    EXPECT_DEATH(cr.initPacket(pkt, rng), "not routable");
+}
+
+TEST(CheckerboardRouting, BottomEdgeOddPairHasNoWaypoint)
+{
+    Topology t = checkerboardTopo();
+    CheckerboardRouting cr(t);
+    Rng rng(8);
+    const NodeId src = t.nodeAt(1, 5), dst = t.nodeAt(2, 2);
+    EXPECT_TRUE(cr.twoPhaseCandidates(src, dst).empty());
+    Packet pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    EXPECT_DEATH(cr.initPacket(pkt, rng), "not routable");
+}
+
+TEST(CheckerboardRouting, LeftEdgeOddPairHasNoWaypoint)
+{
+    Topology t = checkerboardTopo();
+    CheckerboardRouting cr(t);
+    Rng rng(8);
+    const NodeId src = t.nodeAt(0, 2), dst = t.nodeAt(3, 5);
+    EXPECT_TRUE(cr.twoPhaseCandidates(src, dst).empty());
+    Packet pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    EXPECT_DEATH(cr.initPacket(pkt, rng), "not routable");
+}
+
+TEST(CheckerboardRouting, RightEdgeOddPairHasNoWaypoint)
+{
+    Topology t = checkerboardTopo();
+    CheckerboardRouting cr(t);
+    Rng rng(8);
+    const NodeId src = t.nodeAt(5, 1), dst = t.nodeAt(2, 4);
+    EXPECT_TRUE(cr.twoPhaseCandidates(src, dst).empty());
+    Packet pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    EXPECT_DEATH(cr.initPacket(pkt, rng), "not routable");
+}
+
+TEST(CheckerboardRouting, EveryWaypointTurnsOnlyAtFullRouters)
+{
+    // Exhaustive: for every two-phase pair, both of each candidate's
+    // turn nodes (YX leg at the waypoint, XY leg at (dst.x, wp.y))
+    // must be full routers, and the realized walk never turns at a
+    // half-router.
+    Topology t = checkerboardTopo();
+    CheckerboardRouting cr(t);
+    Rng rng(9);
+    for (NodeId s = 0; s < t.numNodes(); ++s) {
+        for (NodeId d = 0; d < t.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const auto cands = cr.twoPhaseCandidates(s, d);
+            if (cands.empty())
+                continue;
+            for (NodeId wp : cands) {
+                EXPECT_FALSE(t.isHalfRouter(wp))
+                    << s << "->" << d << " via " << wp;
+                const NodeId turn2 = t.nodeAt(t.xOf(d), t.yOf(wp));
+                if (t.xOf(wp) != t.xOf(d) && t.yOf(wp) != t.yOf(d)) {
+                    EXPECT_FALSE(t.isHalfRouter(turn2))
+                        << s << "->" << d << " via " << wp;
+                }
+            }
+            const auto res = walk(t, cr, s, d, rng);
+            EXPECT_TRUE(res.arrived) << s << "->" << d;
+            EXPECT_EQ(res.turns_at_half, 0u) << s << "->" << d;
+        }
+    }
+}
+
 /** Property sweep: all core<->MC pairs on several mesh sizes. */
 class CrPropertyTest
     : public ::testing::TestWithParam<std::tuple<unsigned, unsigned,

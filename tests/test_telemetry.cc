@@ -277,6 +277,50 @@ TEST(IntervalSampler, VectorProbesExpandToColumns)
     EXPECT_DOUBLE_EQ(s.row(0)[2], 4.0);
 }
 
+TEST(IntervalSampler, AlignToEmitsWarmupRowThenAlignedWindows)
+{
+    telemetry::IntervalSampler s(100);
+    double total = 0.0;
+    s.addCounter("flits", [&] { return total; });
+    s.alignTo(250); // warmup cycles [0, 250)
+
+    total = 5.0;
+    s.tick(100); // inside warmup: no row yet
+    EXPECT_EQ(s.numRows(), 0u);
+    total = 9.0;
+    s.tick(250); // warmup boundary: dedicated warmup row
+    ASSERT_EQ(s.numRows(), 1u);
+    EXPECT_EQ(s.rowStart(0), 0u);
+    EXPECT_EQ(s.rowEnd(0), 250u);
+    EXPECT_DOUBLE_EQ(s.row(0)[0], 9.0); // warmup deltas kept
+
+    total = 21.0;
+    s.tick(350); // first measurement window [250, 350)
+    ASSERT_EQ(s.numRows(), 2u);
+    EXPECT_EQ(s.rowStart(1), 250u);
+    EXPECT_EQ(s.rowEnd(1), 350u);
+    EXPECT_DOUBLE_EQ(s.row(1)[0], 12.0);
+
+    // Column sums stay exhaustive: warmup + windows == final total.
+    total = 30.0;
+    s.finish(400);
+    ASSERT_EQ(s.numRows(), 3u);
+    EXPECT_DOUBLE_EQ(s.row(0)[0] + s.row(1)[0] + s.row(2)[0], 30.0);
+}
+
+TEST(IntervalSampler, AlignToZeroIsPlainWindowing)
+{
+    telemetry::IntervalSampler s(10);
+    double total = 0.0;
+    s.addCounter("c", [&] { return total; });
+    s.alignTo(0);
+    total = 4.0;
+    s.tick(10);
+    ASSERT_EQ(s.numRows(), 1u);
+    EXPECT_EQ(s.rowStart(0), 0u);
+    EXPECT_EQ(s.rowEnd(0), 10u);
+}
+
 TEST(IntervalSampler, CsvFormat)
 {
     telemetry::IntervalSampler s(10);
