@@ -7,8 +7,11 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/log.hh"
+#include "common/parallel.hh"
 #include "dram/gddr3.hh"
 #include "telemetry/telemetry.hh"
 
@@ -24,7 +27,12 @@ class Chip::CorePort : public CoreMemPort
     bool
     canSendRequests(unsigned n) const override
     {
-        return chip_.net_->injectSpace(node_, 0) >= n;
+        // Deferred requests still occupy their injection-queue slots
+        // once replayed, so count them against the space now.  Exact:
+        // each core has its own node and NI, so nothing else consumes
+        // this queue while the core sweep runs.
+        return chip_.net_->injectSpace(node_, 0) >=
+            n + static_cast<unsigned>(deferred_.size());
     }
 
     void
@@ -39,9 +47,34 @@ class Chip::CorePort : public CoreMemPort
         send(MemOp::WRITE_REQUEST, line);
     }
 
+    /** Parallel core sweep: buffer requests instead of injecting (the
+     *  network's RNG and packet-id counter are shared). */
+    void setDeferred(bool on) { defer_ = on; }
+
+    /** Injects the buffered requests in issue order; called in core
+     *  order on the orchestrating thread, so RNG draws and packet ids
+     *  match the serial sweep exactly. */
+    void
+    flushDeferred()
+    {
+        for (const auto &[op, line] : deferred_)
+            sendNow(op, line);
+        deferred_.clear();
+    }
+
   private:
     void
     send(MemOp op, Addr line)
+    {
+        if (defer_) {
+            deferred_.emplace_back(op, line);
+            return;
+        }
+        sendNow(op, line);
+    }
+
+    void
+    sendNow(MemOp op, Addr line)
     {
         auto pkt = makePacket();
         pkt->src = node_;
@@ -58,6 +91,8 @@ class Chip::CorePort : public CoreMemPort
 
     Chip &chip_;
     NodeId node_;
+    bool defer_ = false;
+    std::vector<std::pair<MemOp, Addr>> deferred_;
 };
 
 /** Core-side packet sink: read replies wake waiting warps. */
@@ -128,6 +163,16 @@ Chip::Chip(const ChipParams &params, const KernelProfile &profile,
         sinks_.push_back(std::make_unique<CoreSink>(*cores_.back()));
         net_->setSink(n, sinks_.back().get());
         ++core_id;
+    }
+
+    // Parallel core sweep (see docs/performance.md): same thread
+    // budget as the network's cycle engine.
+    core_threads_ = std::max(1u, std::min<unsigned>(
+        parallel::resolveCycleThreads(params_.mesh.cycleThreads),
+        static_cast<unsigned>(cores_.size())));
+    if (core_threads_ > 1) {
+        for (auto &p : ports_)
+            p->setDeferred(true);
     }
 
     buildStatModel();
@@ -266,6 +311,22 @@ Chip::icntTick()
 void
 Chip::coreTick()
 {
+    if (core_threads_ > 1) {
+        // Cores are independent within one core-clock edge (replies
+        // arrive from icntTick, not here); their memory requests
+        // buffer in the CorePorts and replay below in core order.
+        const auto n = static_cast<unsigned>(cores_.size());
+        parallel::parallelFor(core_threads_, [&](unsigned s) {
+            const auto [lo, hi] =
+                parallel::shardRange(s, n, core_threads_);
+            for (unsigned i = lo; i < hi; ++i)
+                cores_[i]->cycle(core_now_);
+        });
+        for (auto &p : ports_)
+            p->flushDeferred();
+        ++core_now_;
+        return;
+    }
     for (auto &c : cores_)
         c->cycle(core_now_);
     ++core_now_;

@@ -117,6 +117,12 @@ class Chip
     Cycle core_now_ = 0;
     Cycle mem_now_ = 0;
 
+    /** Worker threads for the per-core-clock SIMT sweep (resolved from
+     *  mesh.cycleThreads; 1 = serial).  Cores shard by index; their
+     *  memory requests defer in the CorePorts and replay in core order
+     *  so network RNG draws and packet ids match serial exactly. */
+    unsigned core_threads_ = 1;
+
     // Statistics hierarchy (groups are registries of pointers into the
     // components above, so they must outlive nothing).
     StatGroup stats_root_{"chip"};

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Persistent worker pool backing tenoc::parallel::parallelFor.
+ *
+ * Dispatch protocol: the task function, context and task count are
+ * published by a release-store of a packed (generation, tasks) word;
+ * workers acquire-load it, so reading the task fields is race-free.
+ * Workers spin briefly on the generation (cycle phases are short) and
+ * fall back to a condition variable, keeping idle simulations cheap.
+ * The caller spins on an outstanding-task counter; every worker
+ * release-decrements it when its task finishes, which also publishes
+ * the worker's writes (shard state, deferred-mark buffers) to the
+ * caller before the barrier returns.
+ */
+
+#include "common/parallel.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace tenoc::parallel
+{
+
+namespace
+{
+
+thread_local unsigned tls_slot = 0;
+thread_local bool tls_in_worker = false;
+
+std::atomic<unsigned> cycle_thread_cap{0};
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+class WorkerPool
+{
+  public:
+    static WorkerPool &
+    instance()
+    {
+        static WorkerPool pool;
+        return pool;
+    }
+
+    void
+    run(unsigned tasks, detail::TaskFn fn, void *ctx)
+    {
+        tenoc_assert(tasks <= MAX_CYCLE_THREADS,
+                     "parallelFor task count ", tasks,
+                     " exceeds MAX_CYCLE_THREADS");
+        // Nested or concurrent region: run inline on the caller.  The
+        // static-sharding determinism contract makes this bit-exact.
+        if (tls_in_worker || busy_.exchange(true, std::memory_order_acquire)) {
+            for (unsigned t = 0; t < tasks; ++t)
+                fn(ctx, t);
+            return;
+        }
+        growWorkers(tasks - 1);
+
+        fn_ = fn;
+        ctx_ = ctx;
+        pending_.store(tasks - 1, std::memory_order_relaxed);
+        // Publish (fn_, ctx_) and the participation set in one packed
+        // release-store; workers read the task count from the same
+        // load that wakes them, so a straggler from a previous
+        // generation can never adopt this one's task fields.
+        const std::uint64_t gen =
+            (packed_.load(std::memory_order_relaxed) >> 16) + 1;
+        packed_.store((gen << 16) | tasks, std::memory_order_release);
+        {
+            // Pairs with the re-check inside the workers' cv wait so a
+            // worker that just decided to sleep cannot miss the wake.
+            std::lock_guard<std::mutex> lk(mu_);
+        }
+        cv_.notify_all();
+
+        std::exception_ptr caller_error;
+        try {
+            fn(ctx, 0);
+        } catch (...) {
+            caller_error = std::current_exception();
+        }
+        // Barrier: wait for every worker task.  Spin first (phases are
+        // microseconds), then yield so an oversubscribed machine makes
+        // progress.
+        unsigned spins = 0;
+        while (pending_.load(std::memory_order_acquire) != 0) {
+            if (++spins > 4096) {
+                std::this_thread::yield();
+            } else {
+                cpuRelax();
+            }
+        }
+        std::exception_ptr worker_error;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            worker_error = std::exchange(error_, nullptr);
+        }
+        busy_.store(false, std::memory_order_release);
+        if (caller_error)
+            std::rethrow_exception(caller_error);
+        if (worker_error)
+            std::rethrow_exception(worker_error);
+    }
+
+  private:
+    WorkerPool() = default;
+
+    ~WorkerPool()
+    {
+        stop_.store(true, std::memory_order_release);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+        }
+        cv_.notify_all();
+        for (auto &t : threads_)
+            t.join();
+    }
+
+    void
+    growWorkers(unsigned needed)
+    {
+        // Capture the pre-dispatch generation for new workers: a
+        // worker that sampled the generation itself could race the
+        // imminent release-store, see the new generation as "already
+        // seen", and skip the very task it was spawned for.
+        const std::uint64_t gen =
+            packed_.load(std::memory_order_relaxed) >> 16;
+        while (threads_.size() < needed) {
+            const auto slot = static_cast<unsigned>(threads_.size()) + 1;
+            threads_.emplace_back(
+                [this, slot, gen] { workerMain(slot, gen); });
+        }
+    }
+
+    void
+    workerMain(unsigned slot, std::uint64_t seen_gen)
+    {
+        tls_slot = slot;
+        tls_in_worker = true;
+        while (!stop_.load(std::memory_order_acquire)) {
+            std::uint64_t packed = packed_.load(std::memory_order_acquire);
+            if ((packed >> 16) == seen_gen) {
+                unsigned spins = 0;
+                while ((packed = packed_.load(std::memory_order_acquire),
+                        (packed >> 16) == seen_gen) &&
+                       !stop_.load(std::memory_order_acquire)) {
+                    if (++spins > 2048) {
+                        std::unique_lock<std::mutex> lk(mu_);
+                        cv_.wait(lk, [&] {
+                            return stop_.load(std::memory_order_acquire) ||
+                                (packed_.load(std::memory_order_acquire) >>
+                                 16) != seen_gen;
+                        });
+                        packed = packed_.load(std::memory_order_acquire);
+                        break;
+                    }
+                    cpuRelax();
+                }
+                if (stop_.load(std::memory_order_acquire))
+                    return;
+            }
+            seen_gen = packed >> 16;
+            const auto tasks = static_cast<unsigned>(packed & 0xffff);
+            if (slot >= tasks)
+                continue; // not part of this region
+            try {
+                fn_(ctx_, slot);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+            pending_.fetch_sub(1, std::memory_order_release);
+        }
+    }
+
+    std::vector<std::thread> threads_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::atomic<bool> busy_{false};
+    std::atomic<bool> stop_{false};
+    /** (generation << 16) | tasks — see run(). */
+    std::atomic<std::uint64_t> packed_{0};
+    std::atomic<unsigned> pending_{0};
+    detail::TaskFn fn_ = nullptr;
+    void *ctx_ = nullptr;
+    std::exception_ptr error_;
+};
+
+} // namespace
+
+unsigned
+workerSlot()
+{
+    return tls_slot;
+}
+
+unsigned
+setCycleThreadCap(unsigned cap)
+{
+    return cycle_thread_cap.exchange(cap, std::memory_order_acq_rel);
+}
+
+unsigned
+cycleThreadCap()
+{
+    return cycle_thread_cap.load(std::memory_order_acquire);
+}
+
+unsigned
+resolveCycleThreads(unsigned requested)
+{
+    unsigned t = requested;
+    if (t == 0) {
+        t = 1;
+        if (const char *env = std::getenv("TENOC_CYCLE_THREADS")) {
+            const long v = std::atol(env);
+            if (v >= 1)
+                t = static_cast<unsigned>(v);
+        }
+    }
+    if (t > MAX_CYCLE_THREADS)
+        t = MAX_CYCLE_THREADS;
+    if (const unsigned cap = cycleThreadCap(); cap != 0 && t > cap)
+        t = cap;
+    return t == 0 ? 1 : t;
+}
+
+namespace detail
+{
+
+void
+run(unsigned tasks, TaskFn fn, void *ctx)
+{
+    WorkerPool::instance().run(tasks, fn, ctx);
+}
+
+} // namespace detail
+
+} // namespace tenoc::parallel

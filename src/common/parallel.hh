@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic intra-simulation parallelism.
+ *
+ * A single persistent worker pool (one per process, grown lazily)
+ * executes small data-parallel regions inside one simulation: the
+ * phases of MeshNetwork::cycle, the two slices of DoubleNetwork, and
+ * Chip's per-core-clock SIMT core sweep.  Determinism comes from
+ * *static ascending-index sharding*: parallelFor(n, fn) partitions
+ * work into contiguous index ranges fixed by (n, thread count), each
+ * shard mutates only its own components, and everything shared is
+ * either phase-separated (a barrier between producer and consumer
+ * phases) or accumulated per shard and folded back in index order.
+ * Results are therefore bit-identical for every thread count — which
+ * also makes the opportunistic serial fallback (pool busy, nested
+ * call, tracer attached) always safe.
+ *
+ * Thread budget: TENOC_CYCLE_THREADS picks the per-simulation cycle
+ * thread count (default 1 = today's serial execution, byte-for-byte).
+ * When bench/sweep.hh fans whole simulations out over TENOC_THREADS
+ * workers it installs a cycle-thread cap so the two levels split one
+ * budget instead of multiplying (setCycleThreadCap).
+ */
+
+#ifndef TENOC_COMMON_PARALLEL_HH
+#define TENOC_COMMON_PARALLEL_HH
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace tenoc::parallel
+{
+
+/** Hard ceiling on cycle threads (and thus worker-slot indices). */
+constexpr unsigned MAX_CYCLE_THREADS = 16;
+
+/**
+ * Slot index of the calling thread inside a parallelFor region: the
+ * orchestrating caller is slot 0, pool workers are 1..MAX-1.  Outside
+ * a region (or on threads that never belonged to the pool) this is 0.
+ * Per-slot scratch buffers (e.g. ActiveSet deferred marks) index with
+ * this; size them with maxSlots().
+ */
+unsigned workerSlot();
+
+/** Upper bound (exclusive) on workerSlot() values. */
+constexpr unsigned
+maxSlots()
+{
+    return MAX_CYCLE_THREADS;
+}
+
+/**
+ * Installs a cap on resolveCycleThreads (0 = uncapped).  Used by
+ * bench/sweep.hh to split the TENOC_THREADS budget between sweep
+ * workers and per-simulation cycle pools.  @return the previous cap.
+ */
+unsigned setCycleThreadCap(unsigned cap);
+
+/** Current cycle-thread cap (0 = uncapped). */
+unsigned cycleThreadCap();
+
+/**
+ * Resolves a requested cycle-thread count: 0 means "use the
+ * TENOC_CYCLE_THREADS environment variable" (default 1); the result is
+ * clamped to [1, MAX_CYCLE_THREADS] and to the sweep cap.  Simulations
+ * resolve once at construction so a run never changes shape mid-way.
+ */
+unsigned resolveCycleThreads(unsigned requested);
+
+namespace detail
+{
+
+using TaskFn = void (*)(void *ctx, unsigned task);
+
+/**
+ * Runs fn(ctx, t) for t in [0, tasks) — task 0 on the caller, the
+ * rest on pool workers (task index == worker slot).  Falls back to
+ * running every task inline on the caller when the pool is already
+ * busy (nested call or a concurrent region); by the determinism
+ * contract above that produces identical results.  Exceptions from
+ * any task are rethrown on the caller after all tasks finish.
+ */
+void run(unsigned tasks, TaskFn fn, void *ctx);
+
+} // namespace detail
+
+/**
+ * Deterministic parallel-for over `tasks` static shards.  `fn` is
+ * invoked as fn(task) for task in [0, tasks), each exactly once; the
+ * caller runs task 0 and blocks until every task completes.
+ */
+template <typename F>
+void
+parallelFor(unsigned tasks, F &&fn)
+{
+    if (tasks <= 1) {
+        if (tasks == 1)
+            fn(0u);
+        return;
+    }
+    using Fn = std::remove_reference_t<F>;
+    auto thunk = [](void *ctx, unsigned task) {
+        (*static_cast<Fn *>(ctx))(task);
+    };
+    detail::run(tasks, thunk, &fn);
+}
+
+/** Inclusive-exclusive bounds of shard `s` of [0, n) over S shards. */
+constexpr std::pair<unsigned, unsigned>
+shardRange(unsigned s, unsigned n, unsigned shards)
+{
+    const auto lo = static_cast<unsigned>(
+        static_cast<std::size_t>(s) * n / shards);
+    const auto hi = static_cast<unsigned>(
+        static_cast<std::size_t>(s + 1) * n / shards);
+    return {lo, hi};
+}
+
+} // namespace tenoc::parallel
+
+#endif // TENOC_COMMON_PARALLEL_HH

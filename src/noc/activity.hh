@@ -10,6 +10,16 @@
  * ascending order, so the tick order is identical to the full
  * tick-everything sweep and the simulation stays bit-exact (see
  * docs/performance.md).
+ *
+ * Parallel phase execution (common/parallel.hh) adds a *deferred
+ * marking* mode: while a phase runs data-parallel across shards, the
+ * word array is frozen and mark() appends the index to a per-worker
+ * buffer instead of writing a shared word.  mergeDeferredMarks() ORs
+ * the buffers back at the phase barrier; since marking is idempotent
+ * the merge order cannot matter, and because the words are frozen
+ * during the phase no snapshot copy is needed — readers of test() see
+ * exactly the mask the phase started with, matching the serial
+ * scheduler's "marks become visible at the next phase" semantics.
  */
 
 #ifndef TENOC_NOC_ACTIVITY_HH
@@ -18,6 +28,8 @@
 #include <bit>
 #include <cstdint>
 #include <vector>
+
+#include "common/parallel.hh"
 
 namespace tenoc
 {
@@ -35,7 +47,20 @@ class ActiveSet
         words_.assign((n + 63) / 64, 0);
     }
 
-    void mark(unsigned i) { words_[i >> 6] |= WORD_ONE << (i & 63); }
+    void
+    mark(unsigned i)
+    {
+        if (deferring_) {
+            // Words are frozen during a parallel phase, so this test
+            // races with nothing and already-set bits (the common
+            // case: waking an active component) cost no buffer entry.
+            if (!test(i))
+                deferred_[parallel::workerSlot()].push_back(i);
+            return;
+        }
+        words_[i >> 6] |= WORD_ONE << (i & 63);
+    }
+
     void clear(unsigned i) { words_[i >> 6] &= ~(WORD_ONE << (i & 63)); }
 
     bool
@@ -53,6 +78,48 @@ class ActiveSet
         return true;
     }
 
+    /** Number of marked indices. */
+    unsigned
+    popCount() const
+    {
+        unsigned n = 0;
+        for (auto w : words_)
+            n += static_cast<unsigned>(std::popcount(w));
+        return n;
+    }
+
+    // --- deferred marking (parallel phase execution) ---
+
+    /** Allocates per-worker mark buffers; idempotent. */
+    void
+    enableDeferredMarks()
+    {
+        if (deferred_.empty())
+            deferred_.resize(parallel::maxSlots());
+    }
+
+    /** Freezes the word array: marks buffer until the next merge. */
+    void beginDeferred() { deferring_ = true; }
+
+    /** Leaves deferred mode (words become directly writable again). */
+    void endDeferred() { deferring_ = false; }
+
+    /**
+     * ORs every buffered mark into the word array and empties the
+     * buffers.  Call only at a phase barrier (single-threaded).  The
+     * result is independent of buffer order — marking is idempotent —
+     * so it is bit-identical to the serial scheduler's live marks.
+     */
+    void
+    mergeDeferredMarks()
+    {
+        for (auto &buf : deferred_) {
+            for (const unsigned i : buf)
+                words_[i >> 6] |= WORD_ONE << (i & 63);
+            buf.clear();
+        }
+    }
+
     /**
      * Calls f(index) for each marked index in ascending order.  Bits
      * set during iteration inside the word currently being scanned are
@@ -65,6 +132,35 @@ class ActiveSet
     {
         for (std::size_t w = 0; w < words_.size(); ++w) {
             std::uint64_t bits = words_[w];
+            while (bits) {
+                const auto b =
+                    static_cast<unsigned>(std::countr_zero(bits));
+                bits &= bits - 1;
+                f(static_cast<unsigned>(w * 64 + b));
+            }
+        }
+    }
+
+    /**
+     * Calls f(index) for each marked index in [lo, hi), ascending.
+     * Used by the parallel scheduler to iterate one shard's slice of a
+     * frozen mask; shard boundaries fall mid-word without double
+     * visits because both edges are masked.
+     */
+    template <typename F>
+    void
+    forEachInRange(unsigned lo, unsigned hi, F &&f) const
+    {
+        if (lo >= hi)
+            return;
+        const std::size_t w0 = lo >> 6;
+        const std::size_t w1 = (hi - 1) >> 6;
+        for (std::size_t w = w0; w <= w1; ++w) {
+            std::uint64_t bits = words_[w];
+            if (w == w0 && (lo & 63) != 0)
+                bits &= ~std::uint64_t{0} << (lo & 63);
+            if (w == w1 && (hi & 63) != 0)
+                bits &= (WORD_ONE << (hi & 63)) - 1;
             while (bits) {
                 const auto b =
                     static_cast<unsigned>(std::countr_zero(bits));
@@ -95,6 +191,9 @@ class ActiveSet
   private:
     static constexpr std::uint64_t WORD_ONE = 1;
     std::vector<std::uint64_t> words_;
+    bool deferring_ = false;
+    /** Per-worker-slot mark buffers (see file comment). */
+    std::vector<std::vector<unsigned>> deferred_;
 };
 
 } // namespace tenoc

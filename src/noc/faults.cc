@@ -164,6 +164,7 @@ FaultEngine::start(FaultKind kind, NodeId node, unsigned port, Cycle now,
         if (frozen_[node])
             return;
         frozen_[node] = true;
+        ++frozen_count_;
         ++stats_.routerFreezes;
         active_.push_back({kind, node, port, until});
         break;
@@ -181,6 +182,7 @@ FaultEngine::stop(const ActiveFault &fault)
         break;
       case FaultKind::ROUTER_FREEZE:
         frozen_[fault.node] = false;
+        --frozen_count_;
         break;
       case FaultKind::CREDIT_DROP:
         break;

@@ -123,6 +123,14 @@ class FaultEngine
         return frozen_[n];
     }
 
+    /**
+     * @return true while any router is frozen.  The scheduler hoists
+     * this out of the per-router phase loops: when it is false (the
+     * overwhelmingly common case) the fault hook costs one pointer
+     * test per cycle instead of one vector<bool> read per router tick.
+     */
+    bool anyFrozen() const { return frozen_count_ != 0; }
+
     /** @return true while any stall/freeze is active. */
     bool quiet() const { return active_.empty(); }
 
@@ -147,6 +155,7 @@ class FaultEngine
     std::vector<std::array<Channel<Flit> *, NUM_DIRS>> links_;
     std::vector<Router *> routers_;
     std::vector<bool> frozen_;
+    unsigned frozen_count_ = 0;
     std::vector<ActiveFault> active_;
     std::size_t next_scheduled_ = 0;
     FaultStats stats_;

@@ -33,9 +33,14 @@ enum class RouteMode : std::uint8_t
 /**
  * One network packet.  Owned via PacketPtr (an intrusive, non-atomic
  * refcount over a thread_local freelist pool); flits reference it.
- * Packets therefore must not be shared across threads — each parallel
- * sweep point (bench/sweep.hh) runs its whole simulation on one
- * worker thread, which guarantees this by construction.
+ * The refcount must therefore only ever be touched by one thread at a
+ * time.  Each parallel sweep point (bench/sweep.hh) runs its whole
+ * simulation on one worker thread; within one simulation the phase-
+ * parallel cycle engine (common/parallel.hh) keeps every packet
+ * inside a single shard per phase — shards own disjoint component
+ * ranges and phase barriers order cross-phase hand-offs — and defers
+ * sink deliveries so the final release happens on the thread whose
+ * pool owns the packet.
  */
 struct Packet
 {

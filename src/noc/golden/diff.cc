@@ -372,6 +372,12 @@ struct Toggles
     bool idleSkip = true;
     bool validate = false;
     bool poolBypass = false;
+    /** Intra-cycle parallel engine thread count (1 = serial; the
+     *  default 0 resolves TENOC_CYCLE_THREADS, so a fuzz run under
+     *  that env var exercises the threaded engine as its base run —
+     *  bit-exactness makes the resolved count irrelevant to results,
+     *  and the shadow combos below pin explicit counts either way). */
+    unsigned cycleThreads = 0;
 
     std::string
     describe() const
@@ -382,6 +388,8 @@ struct Toggles
         s += validate ? "1" : "0";
         s += " poolBypass=";
         s += poolBypass ? "1" : "0";
+        s += " cycleThreads=";
+        s += std::to_string(cycleThreads);
         return s;
     }
 };
@@ -403,6 +411,7 @@ shadowRun(const DiffConfig &cfg, const Toggles &toggles,
     MeshNetworkParams np = cfg.toNetParams();
     np.idleSkip = toggles.idleSkip;
     np.validate = toggles.validate;
+    np.cycleThreads = toggles.cycleThreads;
     np.watchdogWindow = DRAIN_CAP / 2;
 
     bool watchdog_fired = false;
@@ -986,14 +995,19 @@ runDiff(const DiffConfig &cfg, const DiffOptions &opts)
                           rep.violations);
     }
 
-    // Oracle 5: idle-skip / validate / pool-bypass invariance.
+    // Oracle 5: idle-skip / validate / pool-bypass / cycle-thread
+    // invariance.  The parallel engine claims bit-identical results
+    // for any thread count; every fuzzed config re-proves it.
     std::vector<Toggles> combos;
     if (opts.thorough) {
-        for (int i = 1; i < 8; ++i)
+        for (int i = 1; i < 16; ++i)
             combos.push_back(Toggles{(i & 1) != 0, (i & 2) != 0,
-                                     (i & 4) != 0});
+                                     (i & 4) != 0,
+                                     (i & 8) != 0 ? 2u : 1u});
     } else {
-        combos.push_back(Toggles{false, true, true});
+        combos.push_back(Toggles{false, true, true, 1});
+        combos.push_back(Toggles{true, false, false, 2});
+        combos.push_back(Toggles{false, true, true, 2});
     }
     for (const Toggles &t : combos) {
         if (full(rep.violations))

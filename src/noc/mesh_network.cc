@@ -5,8 +5,10 @@
 
 #include "noc/mesh_network.hh"
 
+#include <algorithm>
 #include <fstream>
 
+#include "common/parallel.hh"
 #include "telemetry/json.hh"
 #include "telemetry/telemetry.hh"
 
@@ -217,6 +219,28 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
     }
     if (params_.idleSkip)
         checker_->setActivity(&router_active_, &ni_active_);
+
+    // Intra-cycle parallel engine (see docs/performance.md).  Routers
+    // are sharded into contiguous ascending-index ranges; each shard
+    // accumulates switch traversals privately and activity marks land
+    // in per-worker buffers merged at phase barriers; NIs buffer every
+    // shared-stat side effect in per-NI deltas applied in index order.
+    cycle_threads_ = std::min(
+        parallel::resolveCycleThreads(params_.cycleThreads),
+        topo_.numNodes());
+    if (cycle_threads_ > 1) {
+        router_active_.enableDeferredMarks();
+        ni_active_.enableDeferredMarks();
+        shard_traversed_.assign(cycle_threads_, 0);
+        for (unsigned s = 0; s < cycle_threads_; ++s) {
+            const auto [lo, hi] = parallel::shardRange(
+                s, topo_.numNodes(), cycle_threads_);
+            for (NodeId n = lo; n < hi; ++n)
+                routers_[n]->setTraversalCounter(&shard_traversed_[s]);
+        }
+        for (auto &ni : nis_)
+            ni->setDeferredStats(true);
+    }
 }
 
 bool
@@ -250,10 +274,19 @@ MeshNetwork::setSink(NodeId n, PacketSink *sink)
 void
 MeshNetwork::cycle(Cycle now)
 {
-    ++stats_->cycles;
-    const FaultEngine *fe = faults_.get();
+    if (cycle_threads_ > 1) {
+        engineCycle(now);
+        return;
+    }
+    if (count_cycles_)
+        ++stats_->cycles;
     if (faults_)
         faults_->tick(now);
+    // Hoisted fault gate: routerFrozen() is consulted per router tick
+    // only while a freeze is actually active; otherwise the fault hook
+    // costs this single pointer test per cycle.
+    const FaultEngine *fe =
+        (faults_ && faults_->anyFrozen()) ? faults_.get() : nullptr;
     if (!params_.idleSkip) {
         // Reference scheduler: tick everything every cycle.  A frozen
         // router (ROUTER_FREEZE fault) is skipped entirely: its
@@ -301,6 +334,152 @@ MeshNetwork::cycle(Cycle now)
         [&](unsigned n) { return !routers_[n]->couldWork(); });
     ni_active_.retireIf([&](unsigned n) { return nis_[n]->idle(); });
     postCycle(now);
+}
+
+void
+MeshNetwork::engineCycle(Cycle now)
+{
+    if (count_cycles_)
+        ++stats_->cycles;
+    if (faults_)
+        faults_->tick(now);
+    const FaultEngine *fe =
+        (faults_ && faults_->anyFrozen()) ? faults_.get() : nullptr;
+    const unsigned S = cycle_threads_;
+    const unsigned nodes = topo_.numNodes();
+
+    // Cheap cycles run the shards inline on this thread: the code path
+    // (deferred marks/stats, shard order) is identical either way —
+    // static sharding makes the thread count invisible to results — so
+    // this is purely a latency call.  A tracer pins execution inline
+    // so trace callbacks stay single-threaded and in component order.
+    const bool inline_run = tracer_attached_ ||
+        (params_.idleSkip &&
+         router_active_.popCount() + ni_active_.popCount() < 2 * S);
+    auto runPhase = [&](auto &&body) {
+        if (inline_run) {
+            for (unsigned s = 0; s < S; ++s)
+                body(s);
+        } else {
+            parallel::parallelFor(S, body);
+        }
+    };
+
+    // Freeze both masks: phase code reads the mask state the phase
+    // started with (the serial scheduler's visibility, since a fresh
+    // same-phase mark is always a no-op visit there), and new marks
+    // buffer per worker until the merges below.
+    router_active_.beginDeferred();
+    ni_active_.beginDeferred();
+
+    if (params_.idleSkip) {
+        runPhase([&](unsigned s) {
+            const auto [lo, hi] = parallel::shardRange(s, nodes, S);
+            router_active_.forEachInRange(lo, hi, [&](unsigned n) {
+                if (!fe || !fe->routerFrozen(n))
+                    routers_[n]->readInputs(now);
+            });
+        });
+        runPhase([&](unsigned s) {
+            const auto [lo, hi] = parallel::shardRange(s, nodes, S);
+            ni_active_.forEachInRange(lo, hi, [&](unsigned n) {
+                nis_[n]->injectPhase(now);
+            });
+        });
+        // Injection wakes routers; compute must observe those marks
+        // exactly like the serial scheduler's live mask does.
+        router_active_.mergeDeferredMarks();
+        runPhase([&](unsigned s) {
+            const auto [lo, hi] = parallel::shardRange(s, nodes, S);
+            router_active_.forEachInRange(lo, hi, [&](unsigned n) {
+                if (routers_[n]->bufferedFlits() &&
+                    (!fe || !fe->routerFrozen(n))) {
+                    routers_[n]->compute(now);
+                }
+            });
+        });
+        // Ejection (router -> NI) wakes NIs for the drain phase;
+        // channel sends wake routers for the next cycle.
+        router_active_.mergeDeferredMarks();
+        ni_active_.mergeDeferredMarks();
+        runPhase([&](unsigned s) {
+            const auto [lo, hi] = parallel::shardRange(s, nodes, S);
+            ni_active_.forEachInRange(lo, hi, [&](unsigned n) {
+                nis_[n]->drainPhase(now);
+            });
+        });
+    } else {
+        // Reference full sweep, sharded.  Marks still defer (the
+        // channels are wired to the masks) so they merge at barriers
+        // instead of racing.
+        runPhase([&](unsigned s) {
+            const auto [lo, hi] = parallel::shardRange(s, nodes, S);
+            for (unsigned n = lo; n < hi; ++n) {
+                if (!fe || !fe->routerFrozen(n))
+                    routers_[n]->readInputs(now);
+            }
+        });
+        runPhase([&](unsigned s) {
+            const auto [lo, hi] = parallel::shardRange(s, nodes, S);
+            for (unsigned n = lo; n < hi; ++n)
+                nis_[n]->injectPhase(now);
+        });
+        router_active_.mergeDeferredMarks();
+        runPhase([&](unsigned s) {
+            const auto [lo, hi] = parallel::shardRange(s, nodes, S);
+            for (unsigned n = lo; n < hi; ++n) {
+                if (!fe || !fe->routerFrozen(n))
+                    routers_[n]->compute(now);
+            }
+        });
+        router_active_.mergeDeferredMarks();
+        ni_active_.mergeDeferredMarks();
+        runPhase([&](unsigned s) {
+            const auto [lo, hi] = parallel::shardRange(s, nodes, S);
+            for (unsigned n = lo; n < hi; ++n)
+                nis_[n]->drainPhase(now);
+        });
+    }
+
+    router_active_.endDeferred();
+    ni_active_.endDeferred();
+    router_active_.mergeDeferredMarks();
+    ni_active_.mergeDeferredMarks();
+
+    // Fold per-shard traversal counts into the network total before
+    // anything downstream (watchdog, telemetry, checker) reads it.
+    for (auto &t : shard_traversed_) {
+        flits_traversed_total_ += t;
+        t = 0;
+    }
+
+    if (params_.idleSkip) {
+        // Retiring before the delivery replay is equivalent to the
+        // serial retire-after-deliveries order: a replayed delivery
+        // that enqueues re-marks its NI live, so the final mask state
+        // matches either way.
+        router_active_.retireIf(
+            [&](unsigned n) { return !routers_[n]->couldWork(); });
+        ni_active_.retireIf([&](unsigned n) { return nis_[n]->idle(); });
+    }
+
+    if (defer_to_parent_)
+        return; // DoubleNetwork flushes and runs postCycle, in order
+    flushEngineDeferred();
+    postCycle(now);
+}
+
+void
+MeshNetwork::flushEngineDeferred()
+{
+    // Ascending NI order, each NI's counters/samples then deliveries:
+    // exactly the order the serial drain produces shared-state
+    // updates, so accumulator and histogram contents (including
+    // floating-point sums) are bit-identical to the serial scheduler.
+    for (auto &ni : nis_) {
+        ni->applyDeferredStats();
+        ni->flushDeferredDeliveries();
+    }
 }
 
 void
@@ -394,6 +573,10 @@ MeshNetwork::attachTelemetryPrefixed(telemetry::TelemetryHub &hub,
         });
     }
     if (auto *tracer = hub.tracer()) {
+        // Trace sinks are single-threaded; the parallel engine runs
+        // its shards inline (serial, ascending order) while a tracer
+        // is attached so event order matches the serial scheduler.
+        tracer_attached_ = true;
         for (auto &r : routers_)
             r->setTracer(tracer);
         for (auto &ni : nis_)
@@ -619,6 +802,16 @@ DoubleNetwork::DoubleNetwork(const MeshNetworkParams &base)
     rep_slice.seed = base.seed + 0x9e3779b9ULL;
     reply_ = std::make_unique<MeshNetwork>(rep_slice, stats_.get(),
                                            &next_pkt_id_);
+
+    // Intra-cycle parallelism: run the slices as two pool tasks.  The
+    // slices resolved the same cycleThreads value (identical params
+    // and cap at construction), so engine mode is all-or-nothing.
+    engine_ = request_->cycleThreads() > 1 &&
+              reply_->cycleThreads() > 1;
+    if (engine_) {
+        request_->setEngineParent();
+        reply_->setEngineParent();
+    }
 }
 
 unsigned
@@ -662,11 +855,34 @@ void
 DoubleNetwork::cycle(Cycle now)
 {
     ++stats_->cycles;
-    // Each slice bumps the shared cycle counter; correct for the
-    // double count so `cycles` tracks wall interconnect cycles.
-    request_->cycle(now);
-    reply_->cycle(now);
-    stats_->cycles -= 2;
+    if (!engine_) {
+        // Each slice bumps the shared cycle counter; correct for the
+        // double count so `cycles` tracks wall interconnect cycles.
+        request_->cycle(now);
+        reply_->cycle(now);
+        stats_->cycles -= 2;
+        return;
+    }
+    // Engine mode: the slices don't count cycles themselves and defer
+    // every shared side effect (NetStats deltas, deliveries,
+    // postCycle) to this thread, which flushes request-first — the
+    // serial slice order — after both have quiesced.  A slice's own
+    // nested parallelFor finds the pool busy and runs inline, which
+    // is bit-exact by the static-sharding contract.
+    MeshNetwork *slices[2] = {request_.get(), reply_.get()};
+    if (telemetry_attached_) {
+        // Trace sinks are single-threaded: keep slice execution (and
+        // thus trace event order) serial while a tracer is attached.
+        slices[0]->cycle(now);
+        slices[1]->cycle(now);
+    } else {
+        parallel::parallelFor(
+            2, [&](unsigned s) { slices[s]->cycle(now); });
+    }
+    request_->flushEngineDeferred();
+    request_->postCycle(now);
+    reply_->flushEngineDeferred();
+    reply_->postCycle(now);
 }
 
 bool
@@ -688,6 +904,8 @@ DoubleNetwork::diagnosticReport(Cycle now) const
 void
 DoubleNetwork::attachTelemetry(telemetry::TelemetryHub &hub)
 {
+    if (hub.tracer())
+        telemetry_attached_ = true;
     request_->attachTelemetryPrefixed(hub, "req_");
     reply_->attachTelemetryPrefixed(hub, "rep_");
 }
