@@ -17,9 +17,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <string>
 
 #include "accel/experiments.hh"
+#include "common/config.hh"
 #include "noc/mesh_network.hh"
 #include "telemetry/json.hh"
 #include "telemetry/telemetry.hh"
@@ -109,20 +112,63 @@ BM_ClosedLoopChip(benchmark::State &state)
 }
 BENCHMARK(BM_ClosedLoopChip)->Unit(benchmark::kMillisecond);
 
+/**
+ * Pulls `--name value` / `--name=value` out of argv (benchmark's
+ * Initialize rejects unknown arguments, so ours must go first).
+ * @return true and sets `value` if the flag was present.
+ */
+bool
+extractFlag(int &argc, char **argv, const char *name,
+            std::string &value)
+{
+    const std::string eq = std::string("--") + name + "=";
+    const std::string bare = std::string("--") + name;
+    bool found = false;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind(eq, 0) == 0) {
+            value = arg.substr(eq.size());
+            found = true;
+            continue;
+        }
+        if (arg == bare && i + 1 < argc) {
+            value = argv[++i];
+            found = true;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return found;
+}
+
 /** Times one instrumented chip run and writes BENCH_telemetry.json.
  *  @return false if the run hit its cycle cap (likely deadlock; the
  *  chip printed a diagnostic snapshot). */
 bool
-runTelemetryHarness(const telemetry::TelemetryConfig &cfg)
+runTelemetryHarness(telemetry::TelemetryConfig cfg,
+                    const RunOptions &opts)
 {
     const char *workload = "MM";
     const double scale = envScale(0.05);
+
+    // Canonical hash of this run's effective configuration, echoed
+    // into the stats-JSON header and interval-CSV metadata so sweep
+    // tooling can content-address the outputs (docs/fleet.md).
+    Config id_cfg;
+    id_cfg.set("base", "baseline");
+    id_cfg.set("workload", workload);
+    id_cfg.set("workload.scale", scale);
+    cfg.configHash = id_cfg.canonicalHashHex();
+
     telemetry::TelemetryHub hub(cfg);
     const auto prof = scaleWorkload(findWorkload(workload), scale);
 
     const auto t0 = std::chrono::steady_clock::now();
     const auto result = runWorkload(
-        makeConfig(ConfigId::BASELINE_TB_DOR), prof, &hub);
+        makeConfig(ConfigId::BASELINE_TB_DOR), prof, &hub, opts);
     const auto t1 = std::chrono::steady_clock::now();
     const double wall =
         std::chrono::duration<double>(t1 - t0).count();
@@ -167,10 +213,31 @@ main(int argc, char **argv)
     // sees them (it rejects unknown arguments).
     const auto cfg = telemetry::parseTelemetryFlags(argc, argv);
 
-    if (!runTelemetryHarness(cfg))
+    // Checkpoint/restore flags (docs/fleet.md): --checkpoint-at N
+    // --checkpoint-out FILE snapshots the harness run mid-flight;
+    // --restore FILE resumes from a snapshot.
+    RunOptions opts;
+    std::string value;
+    bool ckpt_flags = false;
+    if (extractFlag(argc, argv, "checkpoint-at", value)) {
+        opts.checkpointAt =
+            static_cast<Cycle>(std::strtoull(value.c_str(), nullptr,
+                                             10));
+        ckpt_flags = true;
+    }
+    if (extractFlag(argc, argv, "checkpoint-out", value)) {
+        opts.checkpointOut = value;
+        ckpt_flags = true;
+    }
+    if (extractFlag(argc, argv, "restore", value)) {
+        opts.restoreFrom = value;
+        ckpt_flags = true;
+    }
+
+    if (!runTelemetryHarness(cfg, opts))
         return 2; // cycle-cap timeout: fail fast instead of reporting
-    if (cfg.any())
-        return 0; // telemetry run requested; skip the benchmark suite
+    if (cfg.any() || ckpt_flags)
+        return 0; // harness-only run; skip the benchmark suite
 
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -17,7 +17,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "accel/experiments.hh"
 #include "common/rng.hh"
@@ -216,6 +218,106 @@ runThreadsSweep(unsigned threads, double scale)
     return 0;
 }
 
+/**
+ * Regression gate (`--compare baseline.json`): matches the measured
+ * points against a previously written BENCH_noc_speed.json on
+ * (load, scheduler) and fails if any point's cycles/second dropped
+ * more than the tolerance (default 15%, override with
+ * TENOC_SPEED_TOLERANCE).  Compare against a baseline captured on the
+ * same machine — absolute simulation rates do not transfer between
+ * hosts (bench/baselines/ holds a reference-shape example; CI
+ * regenerates its own).
+ */
+int
+compareBaseline(const std::string &path,
+                const std::vector<SpeedPoint> &current)
+{
+    using telemetry::JsonValue;
+
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "noc_speed: cannot open baseline '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    JsonValue doc;
+    std::string err;
+    if (!JsonValue::parse(text, doc, &err) || !doc.isObject()) {
+        std::fprintf(stderr, "noc_speed: bad baseline '%s': %s\n",
+                     path.c_str(), err.c_str());
+        return 1;
+    }
+    const JsonValue *points = doc.find("points");
+    if (!points || !points->isArray()) {
+        std::fprintf(stderr,
+                     "noc_speed: baseline '%s' has no points array\n",
+                     path.c_str());
+        return 1;
+    }
+
+    double tolerance = 0.15;
+    if (const char *env = std::getenv("TENOC_SPEED_TOLERANCE")) {
+        const double v = std::atof(env);
+        if (v > 0.0 && v < 1.0)
+            tolerance = v;
+    }
+
+    std::printf("\ncomparing against %s (tolerance -%.0f%%):\n",
+                path.c_str(), tolerance * 100.0);
+    int failures = 0;
+    unsigned matched = 0;
+    for (const SpeedPoint &pt : current) {
+        const char *sched = pt.idleSkip ? "idle_skip" : "full_tick";
+        const JsonValue *base = nullptr;
+        for (const JsonValue &bp : points->asArray()) {
+            if (!bp.isObject())
+                continue;
+            const JsonValue *load = bp.find("load");
+            const JsonValue *scheduler = bp.find("scheduler");
+            if (load && load->isNumber() &&
+                load->asNumber() == pt.load && scheduler &&
+                scheduler->isString() &&
+                scheduler->asString() == sched) {
+                base = &bp;
+                break;
+            }
+        }
+        if (!base) {
+            std::printf("  load %.3f %-10s: no baseline point, "
+                        "skipped\n", pt.load, sched);
+            continue;
+        }
+        const JsonValue *rate = base->find("icnt_cycles_per_second");
+        if (!rate || !rate->isNumber() || rate->asNumber() <= 0.0)
+            continue;
+        ++matched;
+        const double ratio = pt.cyclesPerSec / rate->asNumber();
+        const bool bad = ratio < 1.0 - tolerance;
+        std::printf("  load %.3f %-10s: %.3e vs %.3e cycles/s "
+                    "(%+.1f%%)%s\n",
+                    pt.load, sched, pt.cyclesPerSec, rate->asNumber(),
+                    (ratio - 1.0) * 100.0, bad ? "  REGRESSION" : "");
+        if (bad)
+            ++failures;
+    }
+    if (matched == 0) {
+        std::fprintf(stderr, "noc_speed: no baseline points matched — "
+                             "stale baseline file?\n");
+        return 1;
+    }
+    if (failures != 0) {
+        std::fprintf(stderr, "noc_speed: %d point(s) regressed more "
+                             "than %.0f%% in cycles/second\n",
+                     failures, tolerance * 100.0);
+        return 1;
+    }
+    std::printf("  all %u matched point(s) within tolerance\n",
+                matched);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -225,10 +327,12 @@ main(int argc, char **argv)
 
     // TENOC_SCALE (or a positional number) shortens the run for CI
     // smoke tests; --threads-sweep [N] switches to the serial-vs-
-    // parallel engine sweep (N cycle threads, default 8).
+    // parallel engine sweep (N cycle threads, default 8);
+    // --compare FILE gates on a prior BENCH_noc_speed.json.
     double scale = envScale(1.0);
     bool threads_sweep = false;
     unsigned sweep_threads = 8;
+    std::string compare_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--threads-sweep") {
@@ -240,6 +344,8 @@ main(int argc, char **argv)
                     ++i;
                 }
             }
+        } else if (arg == "--compare" && i + 1 < argc) {
+            compare_path = argv[++i];
         } else {
             const double v = std::atof(arg.c_str());
             if (v > 0.0)
@@ -304,5 +410,8 @@ main(int argc, char **argv)
     doc.write(os);
     os << "\n";
     std::printf("\nwrote BENCH_noc_speed.json\n");
+    if (!compare_path.empty())
+        return compareBaseline(compare_path,
+                               {low_ref, low_skip, sat_ref, sat_skip});
     return 0;
 }

@@ -41,19 +41,27 @@
 #include <thread>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/parallel.hh"
 
 namespace tenoc::bench
 {
 
-/** Worker count: TENOC_THREADS env override, else hardware threads. */
+/** Worker count: TENOC_THREADS env override, else hardware threads.
+ *  Malformed values (non-numeric, trailing junk, < 1) are rejected
+ *  with a warning rather than silently parsed as 0. */
 inline unsigned
 sweepThreads()
 {
     if (const char *env = std::getenv("TENOC_THREADS")) {
-        const long v = std::atol(env);
-        if (v >= 1)
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || v < 1) {
+            warn("ignoring invalid TENOC_THREADS='", env,
+                 "' (want a positive integer)");
+        } else {
             return static_cast<unsigned>(v);
+        }
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Fleet client: builds job specs from flags and hands them to a
+ * tenoc_server (docs/fleet.md).
+ *
+ * Job construction:
+ *   --config FILE         base config file for every job
+ *   --workload ABBR       Table I abbreviation (required)
+ *   --scale X             kernel-length scale factor
+ *   --cycles N            interconnect cycle budget
+ *   --timeout SECONDS     per-job wall-clock kill
+ *   --set key=value       override (repeatable; applies to every job)
+ *   --sweep key=v1,v2,v3  one job per value (repeatable flags multiply
+ *                         into a full cross product)
+ *
+ * Delivery (pick one):
+ *   --connect SOCK        SUBMIT/RUN over a tenoc_server socket and
+ *                         print each RESULT line
+ *   --spool DIR           drop a spec file into a server spool dir
+ *   --out FILE            just write the spec file (inspect, CI, ...)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "fleet/job.hh"
+#include "telemetry/json.hh"
+
+namespace
+{
+
+using tenoc::fleet::JobSpec;
+using tenoc::telemetry::JsonValue;
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: tenoc_client --workload ABBR"
+        " (--connect SOCK | --spool DIR | --out FILE)\n"
+        "                    [--config FILE] [--scale X] [--cycles N]"
+        " [--timeout SECONDS]\n"
+        "                    [--set key=value]... [--sweep"
+        " key=v1,v2,...]...\n";
+    return 2;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        out.push_back(item);
+    return out;
+}
+
+bool
+splitKeyValue(const std::string &s, std::string &key, std::string &val)
+{
+    const auto eq = s.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    key = s.substr(0, eq);
+    val = s.substr(eq + 1);
+    return true;
+}
+
+/** Expands the sweep axes into the cross product of jobs. */
+std::vector<JobSpec>
+expandJobs(const JobSpec &base,
+           const std::vector<std::pair<std::string,
+                                       std::vector<std::string>>> &axes)
+{
+    std::vector<JobSpec> jobs{base};
+    for (const auto &[key, values] : axes) {
+        std::vector<JobSpec> next;
+        for (const auto &job : jobs) {
+            for (const auto &value : values) {
+                JobSpec j = job;
+                j.overrides.set(key, value);
+                j.name = j.name.empty() ? key + "=" + value
+                                        : j.name + "," + key + "=" +
+                                              value;
+                next.push_back(std::move(j));
+            }
+        }
+        jobs = std::move(next);
+    }
+    return jobs;
+}
+
+std::string
+specText(const std::vector<JobSpec> &jobs)
+{
+    JsonValue doc = JsonValue::makeObject();
+    JsonValue arr = JsonValue::makeArray();
+    for (const auto &job : jobs)
+        arr.push(tenoc::fleet::jobToJson(job));
+    doc.set("jobs", std::move(arr));
+    return doc.toString(2) + "\n";
+}
+
+int
+deliverSocket(const std::string &sock_path,
+              const std::vector<JobSpec> &jobs)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (sock_path.size() >= sizeof(addr.sun_path)) {
+        std::cerr << "tenoc_client: socket path too long\n";
+        return 1;
+    }
+    std::strncpy(addr.sun_path, sock_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::cerr << "tenoc_client: socket failed\n";
+        return 1;
+    }
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        std::cerr << "tenoc_client: cannot connect to '" << sock_path
+                  << "'\n";
+        close(fd);
+        return 1;
+    }
+
+    std::string request;
+    for (const auto &job : jobs)
+        request +=
+            "SUBMIT " + tenoc::fleet::jobToJson(job).toString(0) + "\n";
+    request += "RUN\n";
+    std::size_t off = 0;
+    while (off < request.size()) {
+        const ssize_t n =
+            write(fd, request.data() + off, request.size() - off);
+        if (n <= 0) {
+            std::cerr << "tenoc_client: short write to server\n";
+            close(fd);
+            return 1;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+
+    // Stream replies until DONE; RESULT payloads go to stdout.
+    std::string buf;
+    char chunk[4096];
+    bool done = false, any_error = false;
+    while (!done) {
+        const ssize_t n = read(fd, chunk, sizeof(chunk));
+        if (n <= 0)
+            break;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            const std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (line.rfind("RESULT ", 0) == 0) {
+                std::cout << line.substr(7) << "\n";
+            } else if (line.rfind("ERROR ", 0) == 0) {
+                std::cerr << "tenoc_client: server: "
+                          << line.substr(6) << "\n";
+                any_error = true;
+            } else if (line == "DONE") {
+                done = true;
+                break;
+            }
+        }
+    }
+    close(fd);
+    if (!done) {
+        std::cerr << "tenoc_client: connection closed before DONE\n";
+        return 1;
+    }
+    return any_error ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    JobSpec base;
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+    std::string sock, spool, out;
+
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::cerr << "tenoc_client: " << argv[i]
+                      << " needs a value\n";
+            return nullptr;
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *v = nullptr;
+        if (std::strcmp(arg, "--config") == 0 && (v = value(i))) {
+            base.configFile = v;
+        } else if (std::strcmp(arg, "--workload") == 0 &&
+                   (v = value(i))) {
+            base.workload = v;
+        } else if (std::strcmp(arg, "--scale") == 0 && (v = value(i))) {
+            base.scale = std::atof(v);
+        } else if (std::strcmp(arg, "--cycles") == 0 &&
+                   (v = value(i))) {
+            base.maxIcntCycles =
+                static_cast<tenoc::Cycle>(std::atoll(v));
+        } else if (std::strcmp(arg, "--timeout") == 0 &&
+                   (v = value(i))) {
+            base.timeoutSeconds =
+                static_cast<unsigned>(std::atol(v));
+        } else if (std::strcmp(arg, "--set") == 0 && (v = value(i))) {
+            std::string key, val;
+            if (!splitKeyValue(v, key, val))
+                return usage();
+            base.overrides.set(key, val);
+        } else if (std::strcmp(arg, "--sweep") == 0 && (v = value(i))) {
+            std::string key, vals;
+            if (!splitKeyValue(v, key, vals))
+                return usage();
+            axes.emplace_back(key, splitCommas(vals));
+        } else if (std::strcmp(arg, "--connect") == 0 &&
+                   (v = value(i))) {
+            sock = v;
+        } else if (std::strcmp(arg, "--spool") == 0 && (v = value(i))) {
+            spool = v;
+        } else if (std::strcmp(arg, "--out") == 0 && (v = value(i))) {
+            out = v;
+        } else {
+            return usage();
+        }
+    }
+
+    if (base.workload.empty())
+        return usage();
+    const int sinks = (sock.empty() ? 0 : 1) + (spool.empty() ? 0 : 1) +
+                      (out.empty() ? 0 : 1);
+    if (sinks != 1)
+        return usage();
+
+    const std::vector<JobSpec> jobs = expandJobs(base, axes);
+
+    if (!sock.empty())
+        return deliverSocket(sock, jobs);
+
+    const std::string text = specText(jobs);
+    std::string path = out;
+    if (!spool.empty()) {
+        // Write-then-rename so the spool scanner never reads a torn
+        // spec.
+        path = spool + "/spec-" + std::to_string(getpid()) + ".json";
+        const std::string tmp = path + ".tmp";
+        std::ofstream os(tmp);
+        if (!os) {
+            std::cerr << "tenoc_client: cannot write '" << tmp << "'\n";
+            return 1;
+        }
+        os << text;
+        os.close();
+        if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+            std::cerr << "tenoc_client: cannot move spec into '"
+                      << spool << "'\n";
+            return 1;
+        }
+    } else {
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "tenoc_client: cannot write '" << path
+                      << "'\n";
+            return 1;
+        }
+        os << text;
+        if (!os)
+            return 1;
+    }
+    std::cerr << "tenoc_client: wrote " << jobs.size() << " job(s) to "
+              << path << "\n";
+    return 0;
+}

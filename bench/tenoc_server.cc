@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Sweep orchestrator daemon (docs/fleet.md).
+ *
+ * Three front ends over the same FleetServer:
+ *   tenoc_server --spec FILE        run one spec batch and exit
+ *   tenoc_server --spool DIR        watch DIR for spec files (--once
+ *                                   drains what is present and exits)
+ *   tenoc_server --listen SOCK      Unix-socket line protocol
+ *
+ * Worker processes are this same binary re-exec'd with --worker; keep
+ * that dispatch first so a worker never parses server flags.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "fleet/server.hh"
+#include "fleet/worker.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: tenoc_server (--spec FILE | --spool DIR [--once] |"
+        " --listen SOCK)\n"
+        "                    [--workers N] [--cache DIR]"
+        " [--results DIR] [--timeout SECONDS]\n";
+    return 2;
+}
+
+/** The path the kernel will exec for worker children. */
+std::string
+selfExe(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+bool
+needValue(int argc, char **argv, int &i, std::string &out)
+{
+    if (i + 1 >= argc) {
+        std::cerr << "tenoc_server: " << argv[i] << " needs a value\n";
+        return false;
+    }
+    out = argv[++i];
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tenoc::fleet;
+
+    if (argc > 1 && std::strcmp(argv[1], "--worker") == 0) {
+        std::string job_file, out_file, watchdog_file;
+        for (int i = 2; i < argc; ++i) {
+            std::string v;
+            if (std::strcmp(argv[i], "--job") == 0 &&
+                needValue(argc, argv, i, v)) {
+                job_file = v;
+            } else if (std::strcmp(argv[i], "--out") == 0 &&
+                       needValue(argc, argv, i, v)) {
+                out_file = v;
+            } else if (std::strcmp(argv[i], "--watchdog-out") == 0 &&
+                       needValue(argc, argv, i, v)) {
+                watchdog_file = v;
+            } else {
+                return usage();
+            }
+        }
+        if (job_file.empty() || out_file.empty())
+            return usage();
+        return runWorkerJob(job_file, out_file, watchdog_file);
+    }
+
+    ServerOptions opts;
+    opts.workerExe = selfExe(argv[0]);
+    std::string spec, spool, sock;
+    bool once = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (std::strcmp(argv[i], "--spec") == 0 &&
+            needValue(argc, argv, i, v)) {
+            spec = v;
+        } else if (std::strcmp(argv[i], "--spool") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            spool = v;
+        } else if (std::strcmp(argv[i], "--listen") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            sock = v;
+        } else if (std::strcmp(argv[i], "--once") == 0) {
+            once = true;
+        } else if (std::strcmp(argv[i], "--workers") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            const long n = std::atol(v.c_str());
+            if (n < 1)
+                return usage();
+            opts.workers = static_cast<unsigned>(n);
+        } else if (std::strcmp(argv[i], "--cache") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            opts.cacheDir = v;
+        } else if (std::strcmp(argv[i], "--results") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            opts.resultsDir = v;
+        } else if (std::strcmp(argv[i], "--timeout") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            const long n = std::atol(v.c_str());
+            if (n < 0)
+                return usage();
+            opts.defaultTimeoutSeconds = static_cast<unsigned>(n);
+        } else {
+            return usage();
+        }
+    }
+
+    const int modes = (spec.empty() ? 0 : 1) + (spool.empty() ? 0 : 1) +
+                      (sock.empty() ? 0 : 1);
+    if (modes != 1)
+        return usage();
+
+    FleetServer server(opts);
+    if (!spec.empty())
+        return server.runSpecFile(spec);
+    if (!spool.empty())
+        return server.runSpool(spool, once);
+    return server.runListen(sock);
+}

@@ -23,7 +23,26 @@ ChipResult
 runWorkload(const ChipParams &params, const KernelProfile &profile,
             telemetry::TelemetryHub *hub)
 {
+    return runWorkload(params, profile, hub, RunOptions{});
+}
+
+ChipResult
+runWorkload(const ChipParams &params, const KernelProfile &profile,
+            telemetry::TelemetryHub *hub, const RunOptions &opts)
+{
     Chip chip(params, profile);
+    if (!opts.restoreFrom.empty()) {
+        std::string error;
+        if (!chip.restoreFromFile(opts.restoreFrom, &error))
+            tenoc_fatal("cannot restore checkpoint '",
+                        opts.restoreFrom, "': ", error);
+    }
+    if (opts.checkpointAt != 0) {
+        if (opts.checkpointOut.empty())
+            tenoc_fatal("checkpoint cycle given without an output "
+                        "file");
+        chip.scheduleCheckpoint(opts.checkpointAt, opts.checkpointOut);
+    }
     if (hub)
         chip.attachTelemetry(*hub);
     ChipResult result = chip.run();

@@ -5,7 +5,10 @@
 
 #include "cache/mshr.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
+#include "common/snapshot.hh"
 
 namespace tenoc
 {
@@ -57,6 +60,45 @@ MshrTable::waiters(Addr line) const
 {
     auto it = table_.find(line);
     return it == table_.end() ? 0 : it->second.size();
+}
+
+void
+MshrTable::save(SnapshotWriter &w) const
+{
+    w.tag("MSHR");
+    std::vector<Addr> lines;
+    lines.reserve(table_.size());
+    for (const auto &[line, waiters] : table_)
+        lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    w.u64(lines.size());
+    for (const Addr line : lines) {
+        w.u64(line);
+        const auto &waiters = table_.at(line);
+        w.u64(waiters.size());
+        for (const std::uint64_t waiter : waiters)
+            w.u64(waiter);
+    }
+    w.u64(allocations_);
+    w.u64(merges_);
+}
+
+void
+MshrTable::restore(SnapshotReader &r)
+{
+    r.tag("MSHR");
+    table_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr line = r.u64();
+        auto &waiters = table_[line];
+        const std::uint64_t m = r.u64();
+        waiters.reserve(m);
+        for (std::uint64_t j = 0; j < m; ++j)
+            waiters.push_back(r.u64());
+    }
+    allocations_ = r.u64();
+    merges_ = r.u64();
 }
 
 } // namespace tenoc

@@ -20,6 +20,9 @@
 namespace tenoc
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** MSHR table keyed by line address. */
 class MshrTable
 {
@@ -57,6 +60,13 @@ class MshrTable
 
     /** Merged-access count for a pending line. */
     std::size_t waiters(Addr line) const;
+
+    /** Serializes pending entries (sorted by line address so blobs
+     *  are independent of hash-map iteration order) and counters. */
+    void save(SnapshotWriter &w) const;
+
+    /** Restores state written by save(). */
+    void restore(SnapshotReader &r);
 
     // --- stats ---
     std::uint64_t allocations() const { return allocations_; }

@@ -6,6 +6,7 @@
 #include "common/config.hh"
 
 #include "common/log.hh"
+#include "common/snapshot.hh"
 
 #include <algorithm>
 #include <cctype>
@@ -219,6 +220,38 @@ Config::toText() const
     for (const auto &[k, v] : values_)
         os << k << " = " << v << "\n";
     return os.str();
+}
+
+std::string
+Config::canonicalText() const
+{
+    // values_ is a std::map, so toText() already emits keys sorted;
+    // appending the simulator version makes the hash reject results
+    // produced by a build with different model behaviour.
+    return toText() + "# simulator = " + simulatorVersion() + "\n";
+}
+
+std::uint64_t
+Config::canonicalHash() const
+{
+    const std::string text = canonicalText();
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+Config::canonicalHashHex() const
+{
+    static const char digits[] = "0123456789abcdef";
+    const std::uint64_t h = canonicalHash();
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i)
+        out[15 - i] = digits[(h >> (4 * i)) & 0xf];
+    return out;
 }
 
 } // namespace tenoc

@@ -62,6 +62,20 @@ class Config
     /** Renders the config as "key = value" lines. */
     std::string toText() const;
 
+    /**
+     * Canonical dump used for content addressing: sorted
+     * "key = value" lines followed by the simulator version string,
+     * so two Configs hash equal iff they contain the same keys and
+     * values and were built by the same simulator version.
+     */
+    std::string canonicalText() const;
+
+    /** FNV-1a (64-bit) over canonicalText(). */
+    std::uint64_t canonicalHash() const;
+
+    /** canonicalHash() as a fixed-width lowercase hex string. */
+    std::string canonicalHashHex() const;
+
   private:
     std::map<std::string, std::string> values_;
 };

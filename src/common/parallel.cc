@@ -231,8 +231,12 @@ resolveCycleThreads(unsigned requested)
     if (t == 0) {
         t = 1;
         if (const char *env = std::getenv("TENOC_CYCLE_THREADS")) {
-            const long v = std::atol(env);
-            if (v >= 1)
+            char *end = nullptr;
+            const long v = std::strtol(env, &end, 10);
+            if (end == env || *end != '\0' || v < 1)
+                warn("ignoring invalid TENOC_CYCLE_THREADS='", env,
+                     "' (want a positive integer)");
+            else
                 t = static_cast<unsigned>(v);
         }
     }

@@ -30,6 +30,8 @@ class Counter
 
     void inc(std::uint64_t n = 1) { value_ += n; }
     void reset() { value_ = 0; }
+    /** Overwrites the count (checkpoint/restore). */
+    void restore(std::uint64_t v) { value_ = v; }
     std::uint64_t value() const { return value_; }
     const std::string &name() const { return name_; }
 
@@ -48,6 +50,16 @@ class Accumulator
     /** Adds one sample. */
     void sample(double v);
     void reset();
+
+    /** Overwrites the aggregate state (checkpoint/restore). */
+    void
+    restore(std::uint64_t count, double sum, double min, double max)
+    {
+        count_ = count;
+        sum_ = sum;
+        min_ = min;
+        max_ = max;
+    }
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
@@ -85,7 +97,19 @@ class Histogram
     void sample(double v, std::uint64_t weight = 1);
     void reset();
 
+    /** Overwrites bucket contents (checkpoint/restore); the bucket
+     *  count must match this histogram's construction. */
+    void
+    restore(std::vector<std::uint64_t> buckets, std::uint64_t count,
+            double sum)
+    {
+        buckets_ = std::move(buckets);
+        count_ = count;
+        sum_ = sum;
+    }
+
     std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     /**
      * Percentile estimate from the bucket CDF: the upper edge of the

@@ -18,6 +18,9 @@
 namespace tenoc
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Channel configuration. */
 struct DramChannelParams
 {
@@ -70,6 +73,13 @@ class DramChannel
     /** Registers all channel statistics under `group` (lazy values for
      *  the plain scalar fields plus the scheduler's stat objects). */
     void registerStats(StatGroup &group) const;
+
+    /** Serializes queues, in-flight pipeline, bus/turnaround state,
+     *  banks, and counters. */
+    void save(SnapshotWriter &w) const;
+
+    /** Restores state written by save(); bank count must match. */
+    void restore(SnapshotReader &r);
 
     friend class FrFcfsScheduler;
 

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Content-addressed result cache (directory of <hash>.json files).
+ */
+
+#include "fleet/cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace tenoc::fleet
+{
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        tenoc_fatal("cannot create cache directory '", dir_,
+                    "': ", ec.message());
+}
+
+std::string
+ResultCache::path(const std::string &hash) const
+{
+    return dir_ + "/" + hash + ".json";
+}
+
+std::optional<std::string>
+ResultCache::lookup(const std::string &hash) const
+{
+    if (dir_.empty())
+        return std::nullopt;
+    std::ifstream is(path(hash));
+    if (!is)
+        return std::nullopt;
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+void
+ResultCache::store(const std::string &hash,
+                   const std::string &result_json)
+{
+    if (dir_.empty())
+        return;
+    const std::string final_path = path(hash);
+    const std::string tmp_path = final_path + ".tmp";
+    {
+        std::ofstream os(tmp_path);
+        if (!os) {
+            warn("cache: cannot write '", tmp_path, "'");
+            return;
+        }
+        os << result_json;
+        if (!result_json.empty() && result_json.back() != '\n')
+            os << "\n";
+        if (!os) {
+            warn("cache: short write to '", tmp_path, "'");
+            return;
+        }
+    }
+    if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0)
+        warn("cache: cannot rename '", tmp_path, "' into place");
+}
+
+} // namespace tenoc::fleet

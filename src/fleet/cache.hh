@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Content-addressed result cache.
+ *
+ * One directory, one `<hash>.json` file per result, keyed by
+ * Config::canonicalHash() of the job's fully resolved configuration
+ * (which folds in the simulator version — see
+ * Config::canonicalText()).  Failures are cached too: a config that
+ * crashed yesterday will crash today, and serving the recorded failure
+ * is what makes an immediate resubmit of a mixed sweep all-hits.
+ */
+
+#ifndef TENOC_FLEET_CACHE_HH
+#define TENOC_FLEET_CACHE_HH
+
+#include <optional>
+#include <string>
+
+namespace tenoc::fleet
+{
+
+class ResultCache
+{
+  public:
+    /** Opens (creating if needed) the cache directory.  An empty path
+     *  disables the cache: lookups miss, stores are dropped. */
+    explicit ResultCache(std::string dir);
+
+    /** @return the cached result JSON for `hash`, if present. */
+    std::optional<std::string> lookup(const std::string &hash) const;
+
+    /** Stores `result_json` under `hash` (atomic tmp + rename, so a
+     *  crashed server never leaves a torn cache entry). */
+    void store(const std::string &hash, const std::string &result_json);
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string path(const std::string &hash) const;
+
+    std::string dir_;
+};
+
+} // namespace tenoc::fleet
+
+#endif // TENOC_FLEET_CACHE_HH

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Job spec JSON I/O and config resolution.
+ */
+
+#include "fleet/job.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace tenoc::fleet
+{
+
+using telemetry::JsonValue;
+
+namespace
+{
+
+/** Renders a JSON scalar the way a config file would spell it. */
+bool
+scalarToConfigString(const JsonValue &v, std::string &out)
+{
+    switch (v.kind()) {
+      case JsonValue::Kind::STRING:
+        out = v.asString();
+        return true;
+      case JsonValue::Kind::BOOL:
+        out = v.asBool() ? "true" : "false";
+        return true;
+      case JsonValue::Kind::NUMBER: {
+        const double d = v.asNumber();
+        if (d == std::floor(d) && std::abs(d) < 1e15) {
+            out = std::to_string(static_cast<long long>(d));
+        } else {
+            std::ostringstream os;
+            os << d;
+            out = os.str();
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+bool
+fail(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+    return false;
+}
+
+} // namespace
+
+bool
+jobFromJson(const JsonValue &v, JobSpec &out, std::string *error)
+{
+    if (!v.isObject())
+        return fail(error, "job spec must be a JSON object");
+    out = JobSpec{};
+    for (const auto &[key, val] : v.asObject()) {
+        if (key == "name") {
+            if (!val.isString())
+                return fail(error, "'name' must be a string");
+            out.name = val.asString();
+        } else if (key == "config_file") {
+            if (!val.isString())
+                return fail(error, "'config_file' must be a string");
+            out.configFile = val.asString();
+        } else if (key == "overrides") {
+            if (!val.isObject())
+                return fail(error, "'overrides' must be an object");
+            for (const auto &[okey, oval] : val.asObject()) {
+                std::string text;
+                if (!scalarToConfigString(oval, text))
+                    return fail(error, "override '" + okey +
+                                "' must be a scalar");
+                out.overrides.set(okey, text);
+            }
+        } else if (key == "workload") {
+            if (!val.isString())
+                return fail(error, "'workload' must be a string");
+            out.workload = val.asString();
+        } else if (key == "scale") {
+            if (!val.isNumber() || val.asNumber() <= 0.0)
+                return fail(error, "'scale' must be a positive number");
+            out.scale = val.asNumber();
+        } else if (key == "max_icnt_cycles") {
+            if (!val.isNumber() || val.asNumber() < 0)
+                return fail(error,
+                            "'max_icnt_cycles' must be a number >= 0");
+            out.maxIcntCycles = static_cast<Cycle>(val.asNumber());
+        } else if (key == "timeout_seconds") {
+            if (!val.isNumber() || val.asNumber() < 0)
+                return fail(error,
+                            "'timeout_seconds' must be a number >= 0");
+            out.timeoutSeconds =
+                static_cast<unsigned>(val.asNumber());
+        } else if (key == "checkpoint_at") {
+            if (!val.isNumber() || val.asNumber() < 0)
+                return fail(error,
+                            "'checkpoint_at' must be a number >= 0");
+            out.checkpointAt = static_cast<Cycle>(val.asNumber());
+        } else if (key == "checkpoint_out") {
+            if (!val.isString())
+                return fail(error, "'checkpoint_out' must be a string");
+            out.checkpointOut = val.asString();
+        } else if (key == "restore_from") {
+            if (!val.isString())
+                return fail(error, "'restore_from' must be a string");
+            out.restoreFrom = val.asString();
+        } else {
+            return fail(error, "unknown job spec member '" + key + "'");
+        }
+    }
+    if (out.workload.empty())
+        return fail(error, "job spec needs a 'workload'");
+    if (out.checkpointAt != 0 && out.checkpointOut.empty())
+        return fail(error,
+                    "'checkpoint_at' needs a 'checkpoint_out' path");
+    return true;
+}
+
+JsonValue
+jobToJson(const JobSpec &job)
+{
+    JsonValue v = JsonValue::makeObject();
+    if (!job.name.empty())
+        v.set("name", JsonValue(job.name));
+    if (!job.configFile.empty())
+        v.set("config_file", JsonValue(job.configFile));
+    const auto okeys = job.overrides.keys();
+    if (!okeys.empty()) {
+        JsonValue o = JsonValue::makeObject();
+        for (const auto &key : okeys)
+            o.set(key, JsonValue(job.overrides.getString(key)));
+        v.set("overrides", std::move(o));
+    }
+    v.set("workload", JsonValue(job.workload));
+    if (job.scale != 1.0)
+        v.set("scale", JsonValue(job.scale));
+    if (job.maxIcntCycles != 0)
+        v.set("max_icnt_cycles",
+              JsonValue(static_cast<double>(job.maxIcntCycles)));
+    if (job.timeoutSeconds != 0)
+        v.set("timeout_seconds",
+              JsonValue(static_cast<double>(job.timeoutSeconds)));
+    if (job.checkpointAt != 0)
+        v.set("checkpoint_at",
+              JsonValue(static_cast<double>(job.checkpointAt)));
+    if (!job.checkpointOut.empty())
+        v.set("checkpoint_out", JsonValue(job.checkpointOut));
+    if (!job.restoreFrom.empty())
+        v.set("restore_from", JsonValue(job.restoreFrom));
+    return v;
+}
+
+bool
+parseSpecText(const std::string &text, std::vector<JobSpec> &out,
+              std::string *error)
+{
+    JsonValue doc;
+    std::string jerr;
+    if (!JsonValue::parse(text, doc, &jerr))
+        return fail(error, "spec is not valid JSON: " + jerr);
+    const JsonValue *jobs = doc.isObject() ? doc.find("jobs") : nullptr;
+    if (!jobs) {
+        JobSpec job;
+        if (!jobFromJson(doc, job, error))
+            return false;
+        out.push_back(std::move(job));
+        return true;
+    }
+    if (!jobs->isArray())
+        return fail(error, "'jobs' must be an array");
+    for (const JsonValue &jv : jobs->asArray()) {
+        JobSpec job;
+        if (!jobFromJson(jv, job, error))
+            return false;
+        out.push_back(std::move(job));
+    }
+    if (out.empty())
+        return fail(error, "spec contains no jobs");
+    return true;
+}
+
+bool
+parseSpecFile(const std::string &path, std::vector<JobSpec> &out,
+              std::string *error)
+{
+    std::ifstream is(path);
+    if (!is)
+        return fail(error, "cannot open spec file '" + path + "'");
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return parseSpecText(ss.str(), out, error);
+}
+
+Config
+resolvedConfig(const JobSpec &job)
+{
+    Config cfg;
+    if (!job.configFile.empty()) {
+        std::ifstream is(job.configFile);
+        if (!is)
+            tenoc_fatal("cannot open config file '", job.configFile,
+                        "'");
+        std::stringstream ss;
+        ss << is.rdbuf();
+        cfg.parseText(ss.str());
+    }
+    cfg.merge(job.overrides);
+    cfg.set("workload", job.workload);
+    if (job.scale != 1.0)
+        cfg.set("workload.scale", job.scale);
+    if (job.maxIcntCycles != 0)
+        cfg.set("sim.maxIcntCycles",
+                static_cast<std::uint64_t>(job.maxIcntCycles));
+    if (job.checkpointAt != 0) {
+        cfg.set("fleet.checkpointAt",
+                static_cast<std::uint64_t>(job.checkpointAt));
+        cfg.set("fleet.checkpointOut", job.checkpointOut);
+    }
+    if (!job.restoreFrom.empty())
+        cfg.set("fleet.restoreFrom", job.restoreFrom);
+    return cfg;
+}
+
+std::string
+jobHash(const JobSpec &job)
+{
+    return resolvedConfig(job).canonicalHashHex();
+}
+
+Config
+chipConfig(const Config &resolved)
+{
+    Config out;
+    for (const auto &key : resolved.keys()) {
+        if (key == "workload" || key.rfind("workload.", 0) == 0 ||
+            key.rfind("fleet.", 0) == 0)
+            continue;
+        out.set(key, resolved.getString(key));
+    }
+    return out;
+}
+
+} // namespace tenoc::fleet

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fleet job specifications (docs/fleet.md).
+ *
+ * A job names everything needed to reproduce one simulation: a config
+ * file, key overrides, a workload, and optional cycle budget and
+ * checkpoint/restore directives.  Jobs travel as JSON (spec files in a
+ * spool directory, or single lines over the tenoc_server socket) and
+ * are content-addressed by the canonical hash of their fully resolved
+ * configuration, so identical work is served from the result cache.
+ */
+
+#ifndef TENOC_FLEET_JOB_HH
+#define TENOC_FLEET_JOB_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "telemetry/json.hh"
+
+namespace tenoc::fleet
+{
+
+/** One simulation job. */
+struct JobSpec
+{
+    std::string name;       ///< label for results ("" = derived)
+    std::string configFile; ///< "key = value" file ("" = base default)
+    Config overrides;       ///< dotted-key overrides (win over file)
+    std::string workload;   ///< Table I abbreviation (required)
+    double scale = 1.0;     ///< kernel-length scale factor
+    Cycle maxIcntCycles = 0;///< cycle budget (0 = config default)
+    unsigned timeoutSeconds = 0; ///< wall-clock kill (0 = server's)
+
+    // Checkpoint/restore (see Chip::scheduleCheckpoint / restore).
+    Cycle checkpointAt = 0;
+    std::string checkpointOut;
+    std::string restoreFrom;
+};
+
+/**
+ * Parses one job object.  Recognized members: name, config_file,
+ * overrides (object of string/number/bool values), workload (required),
+ * scale, max_icnt_cycles, timeout_seconds, checkpoint_at,
+ * checkpoint_out, restore_from.
+ * @return false + error on a malformed spec.
+ */
+bool jobFromJson(const telemetry::JsonValue &v, JobSpec &out,
+                 std::string *error);
+
+/** Renders a job back to its JSON form (round-trips jobFromJson). */
+telemetry::JsonValue jobToJson(const JobSpec &job);
+
+/**
+ * Parses a spec document: either one job object or
+ * `{"jobs": [ <job>, ... ]}`.
+ */
+bool parseSpecText(const std::string &text, std::vector<JobSpec> &out,
+                   std::string *error);
+
+/** parseSpecText() over a file's contents. */
+bool parseSpecFile(const std::string &path, std::vector<JobSpec> &out,
+                   std::string *error);
+
+/**
+ * The job's fully resolved configuration: the config file's keys,
+ * then the overrides, then the fleet-level keys (`workload`,
+ * `workload.scale`, and the checkpoint directives as `fleet.*`) and
+ * any `sim.maxIcntCycles` budget.  This is the Config whose
+ * canonicalHash() content-addresses the job.  fatal() if the config
+ * file cannot be read.
+ */
+Config resolvedConfig(const JobSpec &job);
+
+/** Canonical content hash of the job (resolvedConfig hex hash). */
+std::string jobHash(const JobSpec &job);
+
+/**
+ * Strips the fleet-level keys (`workload*`, `fleet.*`) from a
+ * resolved config, leaving exactly the keys chipParamsFromConfig
+ * accepts.
+ */
+Config chipConfig(const Config &resolved);
+
+} // namespace tenoc::fleet
+
+#endif // TENOC_FLEET_JOB_HH

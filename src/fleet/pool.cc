@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Fork/exec process pool.
+ */
+
+#include "fleet/pool.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+
+namespace tenoc::fleet
+{
+
+namespace
+{
+
+double
+monotonicSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+pid_t
+spawn(const std::vector<std::string> &argv)
+{
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = fork();
+    if (pid < 0)
+        tenoc_fatal("fork failed: ", std::strerror(errno));
+    if (pid == 0) {
+        execv(cargv[0], cargv.data());
+        // Exec failure in the child: the only safe report is an exit
+        // code the parent can distinguish from a simulator failure.
+        _exit(127);
+    }
+    return pid;
+}
+
+} // namespace
+
+ProcessPool::ProcessPool(unsigned workers)
+    : workers_(workers > 0 ? workers : 1)
+{
+}
+
+void
+ProcessPool::submit(std::size_t job_index, std::vector<std::string> argv,
+                    unsigned timeout_seconds)
+{
+    tenoc_assert(!argv.empty(), "ProcessPool::submit needs an argv");
+    queue_.push_back({job_index, std::move(argv), timeout_seconds});
+}
+
+void
+ProcessPool::runAll(const DoneFn &done)
+{
+    std::vector<Running> running;
+    std::size_t next = 0;
+
+    while (next < queue_.size() || !running.empty()) {
+        // Fill free worker slots.
+        while (running.size() < workers_ && next < queue_.size()) {
+            const Pending &p = queue_[next];
+            running.push_back({p.index, spawn(p.argv), p.timeoutSeconds,
+                               monotonicSeconds()});
+            ++next;
+        }
+
+        // Reap whoever finished; kill whoever overstayed.
+        bool progressed = false;
+        for (std::size_t i = 0; i < running.size();) {
+            Running &r = running[i];
+            int status = 0;
+            const pid_t w = waitpid(r.pid, &status, WNOHANG);
+            if (w == r.pid) {
+                ProcessResult res;
+                res.timedOut =
+                    r.timeoutSeconds != 0 &&
+                    monotonicSeconds() - r.startedAt >=
+                        static_cast<double>(r.timeoutSeconds);
+                if (WIFEXITED(status)) {
+                    res.exitCode = WEXITSTATUS(status);
+                } else if (WIFSIGNALED(status)) {
+                    res.termSignal = WTERMSIG(status);
+                }
+                // A SIGKILL we sent is a timeout, not a crash.
+                if (res.termSignal == SIGKILL && res.timedOut)
+                    res.termSignal = 0;
+                done(r.index, res);
+                running.erase(running.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+                progressed = true;
+                continue;
+            }
+            if (w < 0 && errno != EINTR)
+                tenoc_fatal("waitpid failed: ", std::strerror(errno));
+            if (r.timeoutSeconds != 0 &&
+                monotonicSeconds() - r.startedAt >=
+                    static_cast<double>(r.timeoutSeconds)) {
+                kill(r.pid, SIGKILL);
+                // SIGKILL cannot be caught; the blocking reap is
+                // prompt.
+                int kstatus = 0;
+                waitpid(r.pid, &kstatus, 0);
+                ProcessResult res;
+                res.timedOut = true;
+                if (WIFEXITED(kstatus))
+                    res.exitCode = WEXITSTATUS(kstatus);
+                done(r.index, res);
+                running.erase(running.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+                progressed = true;
+                continue;
+            }
+            ++i;
+        }
+        if (!progressed) {
+            timespec nap{0, 50'000'000}; // 50 ms poll
+            nanosleep(&nap, nullptr);
+        }
+    }
+    queue_.clear();
+}
+
+} // namespace tenoc::fleet

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fork/exec process pool with per-job wall-clock timeouts.
+ *
+ * Each submitted command runs in its own child process; a child that
+ * crashes (signal), calls tenoc_fatal (exit 1), or exceeds its timeout
+ * (SIGKILL) is reported through ProcessResult without disturbing its
+ * siblings.  This is the isolation layer that lets tenoc_server sweep
+ * hostile configs: the deadlock watchdog aborting one config's
+ * simulation is just another nonzero exit here.
+ */
+
+#ifndef TENOC_FLEET_POOL_HH
+#define TENOC_FLEET_POOL_HH
+
+#include <functional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace tenoc::fleet
+{
+
+/** How one child process ended. */
+struct ProcessResult
+{
+    int exitCode = -1;   ///< exit status (if exited normally)
+    int termSignal = 0;  ///< terminating signal (0 = exited normally)
+    bool timedOut = false; ///< killed by the pool's timeout
+
+    bool ok() const { return !timedOut && termSignal == 0 && exitCode == 0; }
+};
+
+class ProcessPool
+{
+  public:
+    using DoneFn = std::function<void(std::size_t job_index,
+                                      const ProcessResult &)>;
+
+    /** @param workers maximum concurrent children (min 1). */
+    explicit ProcessPool(unsigned workers);
+
+    /**
+     * Queues `argv` (argv[0] = executable path) as job `job_index`.
+     * `timeout_seconds` of wall clock (0 = unlimited) before the child
+     * is SIGKILLed.
+     */
+    void submit(std::size_t job_index, std::vector<std::string> argv,
+                unsigned timeout_seconds);
+
+    /**
+     * Runs every queued job across the worker slots and invokes
+     * `done` (on this thread) as each child is reaped.  Returns when
+     * all jobs have finished.
+     */
+    void runAll(const DoneFn &done);
+
+    unsigned workers() const { return workers_; }
+
+  private:
+    struct Pending
+    {
+        std::size_t index;
+        std::vector<std::string> argv;
+        unsigned timeoutSeconds;
+    };
+
+    struct Running
+    {
+        std::size_t index;
+        pid_t pid;
+        unsigned timeoutSeconds;
+        double startedAt; ///< monotonic seconds
+    };
+
+    unsigned workers_;
+    std::vector<Pending> queue_;
+};
+
+} // namespace tenoc::fleet
+
+#endif // TENOC_FLEET_POOL_HH

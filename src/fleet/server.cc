@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Sweep orchestrator implementation.
+ */
+
+#include "fleet/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "fleet/pool.hh"
+#include "telemetry/json.hh"
+
+namespace tenoc::fleet
+{
+
+namespace fs = std::filesystem;
+using telemetry::JsonValue;
+
+namespace
+{
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+stopHandler(int)
+{
+    g_stop = 1;
+}
+
+void
+installStopHandlers()
+{
+    struct sigaction sa{};
+    sa.sa_handler = stopHandler;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return {};
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+/** Trims to the single-line form results travel in. */
+std::string
+oneLine(std::string s)
+{
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
+        s.pop_back();
+    return s;
+}
+
+/** @return the "status" member of a result document ("" if absent). */
+std::string
+resultStatus(const std::string &json)
+{
+    JsonValue doc;
+    std::string err;
+    if (!JsonValue::parse(json, doc, &err) || !doc.isObject())
+        return {};
+    const JsonValue *s = doc.find("status");
+    return s && s->isString() ? s->asString() : std::string{};
+}
+
+} // namespace
+
+FleetServer::FleetServer(ServerOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cacheDir)
+{
+    std::error_code ec;
+    fs::create_directories(opts_.resultsDir, ec);
+    if (ec)
+        tenoc_fatal("cannot create results directory '",
+                    opts_.resultsDir, "': ", ec.message());
+    tenoc_assert(!opts_.workerExe.empty(),
+                 "FleetServer needs a worker executable path");
+}
+
+std::vector<JobOutcome>
+FleetServer::runJobs(const std::vector<JobSpec> &jobs)
+{
+    std::vector<JobOutcome> outcomes(jobs.size());
+    ProcessPool pool(opts_.workers);
+
+    struct Scratch
+    {
+        std::string outFile;
+        std::string watchdogFile;
+    };
+    std::vector<Scratch> scratch(jobs.size());
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const JobSpec &job = jobs[i];
+        const std::string hash = jobHash(job);
+        outcomes[i].hash = hash;
+
+        if (auto hit = cache_.lookup(hash)) {
+            outcomes[i].json = oneLine(*hit);
+            outcomes[i].cached = true;
+            outcomes[i].ok = resultStatus(outcomes[i].json) == "ok";
+            // Annotate the emitted copy only; the stored entry stays
+            // annotation-free so hits and fresh runs hash alike.
+            JsonValue doc;
+            std::string err;
+            if (JsonValue::parse(outcomes[i].json, doc, &err) &&
+                doc.isObject()) {
+                doc.set("cached", JsonValue(true));
+                outcomes[i].json = doc.toString(0);
+            }
+            continue;
+        }
+
+        const std::string base = opts_.resultsDir + "/" + hash + "-" +
+                                 std::to_string(batch_seq_) + "-" +
+                                 std::to_string(i);
+        ++batch_seq_;
+        const std::string job_file = base + ".job.json";
+        scratch[i] = {base + ".result.json", base + ".watchdog.json"};
+        {
+            std::ofstream os(job_file);
+            if (!os)
+                tenoc_fatal("cannot write job file '", job_file, "'");
+            jobToJson(job).write(os, 0);
+            os << "\n";
+        }
+
+        const unsigned timeout = job.timeoutSeconds != 0
+                                     ? job.timeoutSeconds
+                                     : opts_.defaultTimeoutSeconds;
+        pool.submit(i,
+                    {opts_.workerExe, "--worker", "--job", job_file,
+                     "--out", scratch[i].outFile, "--watchdog-out",
+                     scratch[i].watchdogFile},
+                    timeout);
+    }
+
+    pool.runAll([&](std::size_t i, const ProcessResult &pres) {
+        outcomes[i] = harvest(jobs[i], outcomes[i].hash, pres,
+                              scratch[i].outFile,
+                              scratch[i].watchdogFile);
+    });
+    return outcomes;
+}
+
+JobOutcome
+FleetServer::harvest(const JobSpec &job, const std::string &hash,
+                     const ProcessResult &pres,
+                     const std::string &out_file,
+                     const std::string &watchdog_file)
+{
+    JobOutcome out;
+    out.hash = hash;
+
+    if (pres.ok()) {
+        const std::string text = slurp(out_file);
+        if (!text.empty()) {
+            out.json = oneLine(text);
+            out.ok = true;
+            cache_.store(hash, out.json);
+            return out;
+        }
+        warn("worker for ", hash,
+             " exited cleanly but wrote no result");
+    }
+
+    // The job died: synthesize (and cache) a failure record.  Caching
+    // failures is deliberate — rerunning a crashing config gives the
+    // same crash, and all-hit resubmits are how a sweep is resumed.
+    const bool watchdog_fired = fs::exists(watchdog_file);
+    std::string status = "failed";
+    if (pres.timedOut)
+        status = "timeout";
+    else if (pres.termSignal != 0)
+        status = "crashed";
+    else if (watchdog_fired)
+        status = "deadlocked";
+
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("schema", JsonValue("tenoc-fleet-result-v1"));
+    doc.set("name", JsonValue(job.name.empty() ? job.workload
+                                               : job.name));
+    doc.set("config_hash", JsonValue(hash));
+    doc.set("workload", JsonValue(job.workload));
+    doc.set("status", JsonValue(status));
+    doc.set("exit_code", JsonValue(pres.exitCode));
+    doc.set("signal", JsonValue(pres.termSignal));
+    doc.set("timed_out", JsonValue(pres.timedOut));
+    if (watchdog_fired)
+        doc.set("watchdog_snapshot", JsonValue(watchdog_file));
+    out.json = doc.toString(0);
+    out.ok = false;
+    cache_.store(hash, out.json);
+    return out;
+}
+
+int
+FleetServer::runSpecFile(const std::string &path)
+{
+    std::vector<JobSpec> jobs;
+    std::string error;
+    if (!parseSpecFile(path, jobs, &error)) {
+        std::cerr << "tenoc_server: " << error << "\n";
+        return 2;
+    }
+    const auto outcomes = runJobs(jobs);
+    std::size_t ok = 0, cached = 0;
+    for (const auto &o : outcomes) {
+        std::cout << o.json << "\n";
+        ok += o.ok ? 1 : 0;
+        cached += o.cached ? 1 : 0;
+    }
+    std::cerr << "fleet: " << outcomes.size() << " jobs, " << ok
+              << " ok, " << outcomes.size() - ok << " failed, "
+              << cached << " cached\n";
+    return ok == outcomes.size() ? 0 : 1;
+}
+
+int
+FleetServer::runSpool(const std::string &spool_dir, bool once)
+{
+    installStopHandlers();
+    std::error_code ec;
+    fs::create_directories(spool_dir, ec);
+    if (ec)
+        tenoc_fatal("cannot create spool directory '", spool_dir,
+                    "': ", ec.message());
+
+    while (!g_stop) {
+        std::vector<std::string> specs;
+        for (const auto &entry : fs::directory_iterator(spool_dir)) {
+            if (entry.is_regular_file() &&
+                entry.path().extension() == ".json")
+                specs.push_back(entry.path().string());
+        }
+        std::sort(specs.begin(), specs.end());
+
+        for (const auto &spec_path : specs) {
+            if (g_stop)
+                break;
+            std::vector<JobSpec> jobs;
+            std::string error;
+            if (!parseSpecFile(spec_path, jobs, &error)) {
+                warn("spool: skipping '", spec_path, "': ", error);
+                fs::rename(spec_path, spec_path + ".bad", ec);
+                continue;
+            }
+            const auto outcomes = runJobs(jobs);
+            const std::string results_path =
+                spec_path.substr(0, spec_path.size() - 5) +
+                ".results.jsonl";
+            std::ofstream os(results_path);
+            for (const auto &o : outcomes)
+                os << o.json << "\n";
+            fs::rename(spec_path, spec_path + ".done", ec);
+            if (ec)
+                warn("spool: cannot retire '", spec_path,
+                     "': ", ec.message());
+            inform("spool: ", spec_path, " -> ", results_path, " (",
+                   outcomes.size(), " jobs)");
+        }
+        if (once)
+            break;
+        if (specs.empty()) {
+            timespec nap{0, 200'000'000}; // 200 ms scan interval
+            nanosleep(&nap, nullptr);
+        }
+    }
+    return 0;
+}
+
+int
+FleetServer::runListen(const std::string &socket_path)
+{
+    installStopHandlers();
+    signal(SIGPIPE, SIG_IGN); // a vanished client must not kill us
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        tenoc_fatal("socket path too long: '", socket_path, "'");
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    const int listen_fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0)
+        tenoc_fatal("socket failed: ", std::strerror(errno));
+    unlink(socket_path.c_str());
+    if (bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+             sizeof(addr)) != 0)
+        tenoc_fatal("cannot bind '", socket_path,
+                    "': ", std::strerror(errno));
+    if (listen(listen_fd, 4) != 0)
+        tenoc_fatal("listen failed: ", std::strerror(errno));
+    inform("fleet: listening on ", socket_path);
+
+    while (!g_stop) {
+        const int fd = accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("accept failed: ", std::strerror(errno));
+            break;
+        }
+
+        std::vector<JobSpec> batch;
+        std::string buf;
+        char chunk[4096];
+        auto sendLine = [&](const std::string &line) {
+            std::string msg = line + "\n";
+            std::size_t off = 0;
+            while (off < msg.size()) {
+                const ssize_t n =
+                    write(fd, msg.data() + off, msg.size() - off);
+                if (n <= 0)
+                    return false;
+                off += static_cast<std::size_t>(n);
+            }
+            return true;
+        };
+        auto handleLine = [&](const std::string &line) {
+            if (line.rfind("SUBMIT ", 0) == 0) {
+                JsonValue jv;
+                std::string err;
+                JobSpec job;
+                if (!JsonValue::parse(line.substr(7), jv, &err) ||
+                    !jobFromJson(jv, job, &err)) {
+                    sendLine("ERROR " + err);
+                    return true;
+                }
+                batch.push_back(std::move(job));
+                sendLine("OK " + std::to_string(batch.size()));
+                return true;
+            }
+            if (line == "RUN") {
+                const auto outcomes = runJobs(batch);
+                batch.clear();
+                for (const auto &o : outcomes)
+                    sendLine("RESULT " + o.json);
+                sendLine("DONE");
+                return true;
+            }
+            if (line == "QUIT")
+                return false;
+            if (!line.empty())
+                sendLine("ERROR unknown command");
+            return true;
+        };
+
+        bool open = true;
+        while (open && !g_stop) {
+            const ssize_t n = read(fd, chunk, sizeof(chunk));
+            if (n <= 0)
+                break;
+            buf.append(chunk, static_cast<std::size_t>(n));
+            std::size_t nl;
+            while (open && (nl = buf.find('\n')) != std::string::npos) {
+                std::string line = buf.substr(0, nl);
+                buf.erase(0, nl + 1);
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                open = handleLine(line);
+            }
+        }
+        close(fd);
+    }
+    close(listen_fd);
+    unlink(socket_path.c_str());
+    return 0;
+}
+
+} // namespace tenoc::fleet

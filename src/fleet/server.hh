@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Sweep orchestrator: shards jobs over a process pool, serves repeats
+ * from the result cache, and harvests the wreckage of jobs that crash,
+ * deadlock, or time out (docs/fleet.md).
+ */
+
+#ifndef TENOC_FLEET_SERVER_HH
+#define TENOC_FLEET_SERVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/cache.hh"
+#include "fleet/job.hh"
+#include "fleet/pool.hh"
+
+namespace tenoc::fleet
+{
+
+/** Server-wide knobs (see tenoc_server --help). */
+struct ServerOptions
+{
+    std::string workerExe;   ///< binary to re-exec for --worker runs
+    std::string cacheDir;    ///< result cache ("" disables caching)
+    std::string resultsDir = "tenoc_results"; ///< scratch + harvest dir
+    unsigned workers = 2;    ///< concurrent worker processes
+    unsigned defaultTimeoutSeconds = 0; ///< per job, 0 = unlimited
+};
+
+/** One finished job as the server reports it. */
+struct JobOutcome
+{
+    std::string hash;     ///< canonical config hash
+    std::string json;     ///< tenoc-fleet-result-v1 document (one line)
+    bool cached = false;  ///< served from the result cache
+    bool ok = false;      ///< worker produced a result (even timed_out)
+};
+
+class FleetServer
+{
+  public:
+    explicit FleetServer(ServerOptions opts);
+
+    /**
+     * Runs a batch: cache-hits are returned immediately, everything
+     * else is sharded over the process pool.  Outcomes are indexed
+     * like `jobs`.
+     */
+    std::vector<JobOutcome> runJobs(const std::vector<JobSpec> &jobs);
+
+    /** Runs a spec file and streams outcome JSON lines to stdout.
+     *  @return 0 when every job produced a result. */
+    int runSpecFile(const std::string &path);
+
+    /**
+     * Watches `spool_dir` for `*.json` spec files; each is executed
+     * and answered with a sibling `<name>.results.jsonl`, then renamed
+     * to `<name>.done`.  `once` processes what is present and returns
+     * (CI mode); otherwise loops until SIGINT/SIGTERM.
+     */
+    int runSpool(const std::string &spool_dir, bool once);
+
+    /**
+     * Serves a Unix-domain stream socket.  Protocol, line oriented:
+     *   client: SUBMIT <job-json>     (repeatable)
+     *   client: RUN
+     *   server: RESULT <outcome-json> (one per submitted job)
+     *   server: DONE
+     * EOF or QUIT ends the connection; the server keeps listening
+     * until SIGINT/SIGTERM.
+     */
+    int runListen(const std::string &socket_path);
+
+    const ServerOptions &options() const { return opts_; }
+
+  private:
+    /** Turns a reaped worker process into an outcome (reading its
+     *  result file on success, synthesizing a failure record — and
+     *  harvesting any watchdog snapshot — otherwise). */
+    JobOutcome harvest(const JobSpec &job, const std::string &hash,
+                       const ProcessResult &pres,
+                       const std::string &out_file,
+                       const std::string &watchdog_file);
+
+    ServerOptions opts_;
+    ResultCache cache_;
+    std::uint64_t batch_seq_ = 0; ///< uniquifies scratch file names
+};
+
+} // namespace tenoc::fleet
+
+#endif // TENOC_FLEET_SERVER_HH

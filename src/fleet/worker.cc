@@ -1,0 +1,91 @@
+/**
+ * @file
+ * One-job worker process body.
+ */
+
+#include "fleet/worker.hh"
+
+#include <fstream>
+#include <iostream>
+
+#include "accel/chip_config.hh"
+#include "accel/experiments.hh"
+#include "common/log.hh"
+#include "fleet/job.hh"
+#include "gpu/workloads.hh"
+#include "telemetry/json.hh"
+
+namespace tenoc::fleet
+{
+
+using telemetry::JsonValue;
+
+int
+runWorkerJob(const std::string &job_file, const std::string &out_file,
+             const std::string &watchdog_path)
+{
+    std::vector<JobSpec> jobs;
+    std::string error;
+    if (!parseSpecFile(job_file, jobs, &error) || jobs.size() != 1) {
+        std::cerr << "tenoc worker: bad job file '" << job_file
+                  << "': " << (error.empty() ? "want exactly one job"
+                                             : error)
+                  << "\n";
+        return 2;
+    }
+    const JobSpec &job = jobs.front();
+
+    const Config resolved = resolvedConfig(job);
+    const std::string hash = resolved.canonicalHashHex();
+    ChipParams params = chipParamsFromConfig(chipConfig(resolved));
+    // Harvest paths are per-attempt plumbing, not experiment identity:
+    // applied after hashing so identical configs share a cache entry.
+    if (!watchdog_path.empty())
+        params.mesh.watchdogSnapshotPath = watchdog_path;
+
+    KernelProfile profile = findWorkload(job.workload);
+    if (job.scale != 1.0)
+        profile = scaleWorkload(profile, job.scale);
+
+    RunOptions opts;
+    opts.checkpointAt = job.checkpointAt;
+    opts.checkpointOut = job.checkpointOut;
+    opts.restoreFrom = job.restoreFrom;
+
+    const ChipResult r = runWorkload(params, profile, nullptr, opts);
+
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("schema", JsonValue(std::string("tenoc-fleet-result-v1")));
+    doc.set("name",
+            JsonValue(job.name.empty() ? job.workload + "@" + hash
+                                       : job.name));
+    doc.set("config_hash", JsonValue(hash));
+    doc.set("workload", JsonValue(job.workload));
+    doc.set("status", JsonValue(std::string("ok")));
+    doc.set("timed_out", JsonValue(r.timedOut));
+    doc.set("ipc", JsonValue(r.ipc));
+    doc.set("scalar_insts",
+            JsonValue(static_cast<double>(r.scalarInsts)));
+    doc.set("core_cycles", JsonValue(static_cast<double>(r.coreCycles)));
+    doc.set("icnt_cycles", JsonValue(static_cast<double>(r.icntCycles)));
+    doc.set("mem_cycles", JsonValue(static_cast<double>(r.memCycles)));
+    doc.set("avg_net_latency", JsonValue(r.avgNetLatency));
+    doc.set("avg_total_latency", JsonValue(r.avgTotalLatency));
+    doc.set("mc_injection_rate", JsonValue(r.mcInjectionRate));
+    doc.set("dram_efficiency", JsonValue(r.dramEfficiency));
+    doc.set("dram_row_hit_rate", JsonValue(r.dramRowHitRate));
+    doc.set("packets_ejected",
+            JsonValue(static_cast<double>(r.packetsEjected)));
+
+    std::ofstream os(out_file);
+    if (!os) {
+        std::cerr << "tenoc worker: cannot write result file '"
+                  << out_file << "'\n";
+        return 3;
+    }
+    doc.write(os, 0);
+    os << "\n";
+    return os ? 0 : 3;
+}
+
+} // namespace tenoc::fleet

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fleet worker: runs exactly one job inside a fork/exec'd process.
+ *
+ * tenoc_server re-executes itself with `--worker --job FILE --out FILE
+ * --watchdog-out FILE`; runWorkerJob() is everything that happens on
+ * the far side of that exec.  Keeping the job in its own process means
+ * a crash, deadlock watchdog abort, or runaway config only loses that
+ * job — the server harvests the exit status (and any watchdog
+ * snapshot) and keeps the sweep going.
+ */
+
+#ifndef TENOC_FLEET_WORKER_HH
+#define TENOC_FLEET_WORKER_HH
+
+#include <string>
+
+namespace tenoc::fleet
+{
+
+/**
+ * Runs the single-job spec in `job_file` and writes a
+ * tenoc-fleet-result-v1 JSON document to `out_file`.
+ *
+ * `watchdog_path`, if non-empty, redirects the network watchdog's
+ * diagnostic snapshot there.  It is applied after the config hash is
+ * computed, so harvest paths never perturb content addressing.
+ *
+ * @return process exit code (0 = result written, including runs that
+ *         hit their cycle budget; nonzero = bad spec).
+ */
+int runWorkerJob(const std::string &job_file,
+                 const std::string &out_file,
+                 const std::string &watchdog_path);
+
+} // namespace tenoc::fleet
+
+#endif // TENOC_FLEET_WORKER_HH

@@ -116,6 +116,12 @@ class SimtCore
     /** Registers the core's statistics under `group`. */
     void registerStats(StatGroup &group) const;
 
+    /** Serializes warps, caches, MSHRs, RNG, and the inst source. */
+    void save(SnapshotWriter &w) const;
+
+    /** Restores state written by save(); warp count must match. */
+    void restore(SnapshotReader &r);
+
   private:
     /** Attempts to issue one warp instruction; @return success. */
     bool issueSlot(Cycle core_cycle);

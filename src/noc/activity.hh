@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/parallel.hh"
 
 namespace tenoc
@@ -86,6 +87,19 @@ class ActiveSet
         for (auto w : words_)
             n += static_cast<unsigned>(std::popcount(w));
         return n;
+    }
+
+    /** Raw mask words (checkpoint/restore). */
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+    /** Overwrites the mask words (checkpoint/restore); the word count
+     *  must match this set's size. */
+    void
+    setWords(const std::vector<std::uint64_t> &words)
+    {
+        tenoc_assert(words.size() == words_.size(),
+                     "active-set word count mismatch");
+        words_ = words;
     }
 
     // --- deferred marking (parallel phase execution) ---

@@ -57,6 +57,18 @@ class RoundRobinArbiter
         pointer_ = (winner + 1) % size_;
     }
 
+    /** Current priority pointer (checkpoint/restore). */
+    unsigned pointer() const { return pointer_; }
+
+    /** Overwrites the priority pointer (checkpoint/restore). */
+    void
+    setPointer(unsigned p)
+    {
+        tenoc_assert(size_ == 0 || p < size_, "arbiter pointer ", p,
+                     " out of range ", size_);
+        pointer_ = p;
+    }
+
   private:
     unsigned size_;
     unsigned pointer_ = 0;

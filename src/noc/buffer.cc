@@ -5,6 +5,8 @@
 
 #include "noc/buffer.hh"
 
+#include "common/snapshot.hh"
+
 namespace tenoc
 {
 
@@ -47,6 +49,41 @@ InputPort::pop(unsigned vc)
     vcs_[vc].fifo.pop_front();
     --total_;
     return f;
+}
+
+void
+InputPort::save(SnapshotWriter &w) const
+{
+    w.tag("INPT");
+    w.u64(vcs_.size());
+    for (const VcEntry &entry : vcs_) {
+        w.u8(static_cast<std::uint8_t>(entry.state));
+        w.u32(entry.outPort);
+        w.u32(entry.outVc);
+        w.u64(entry.fifo.size());
+        for (const Flit &flit : entry.fifo)
+            saveFlit(w, flit);
+    }
+}
+
+void
+InputPort::restore(SnapshotReader &r)
+{
+    r.tag("INPT");
+    const std::uint64_t vcs = r.u64();
+    tenoc_assert(vcs == vcs_.size(), "input-port VC count mismatch");
+    total_ = 0;
+    for (VcEntry &entry : vcs_) {
+        entry.state = static_cast<VcState>(r.u8());
+        entry.outPort = r.u32();
+        entry.outVc = r.u32();
+        entry.fifo.clear();
+        const std::uint64_t flits = r.u64();
+        tenoc_assert(flits <= depth_, "restored VC overflows buffer");
+        for (std::uint64_t i = 0; i < flits; ++i)
+            entry.fifo.push_back(loadFlit(r));
+        total_ += flits;
+    }
 }
 
 } // namespace tenoc

@@ -81,6 +81,12 @@ class InputPort
                 f(vc, flit);
     }
 
+    /** Serializes buffered flits and per-VC pipeline state. */
+    void save(SnapshotWriter &w) const;
+
+    /** Restores state written by save() into this (empty) port. */
+    void restore(SnapshotReader &r);
+
   private:
     struct VcEntry
     {

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "common/snapshot.hh"
 #include "common/types.hh"
 #include "noc/activity.hh"
 
@@ -108,6 +109,37 @@ class Channel
     earliestArrival() const
     {
         return queue_.empty() ? INVALID_CYCLE : queue_.front().first;
+    }
+
+    /** Serializes dynamic state; `saveItem(w, item)` encodes one
+     *  in-flight item (checkpoint/restore). */
+    template <typename SaveItem>
+    void
+    save(SnapshotWriter &w, SaveItem &&saveItem) const
+    {
+        w.u64(last_send_);
+        w.boolean(stalled_);
+        w.u64(queue_.size());
+        for (const auto &[arrival, item] : queue_) {
+            w.u64(arrival);
+            saveItem(w, item);
+        }
+    }
+
+    /** Restores state written by save(); `loadItem(r)` decodes one
+     *  in-flight item. */
+    template <typename LoadItem>
+    void
+    restore(SnapshotReader &r, LoadItem &&loadItem)
+    {
+        last_send_ = r.u64();
+        stalled_ = r.boolean();
+        queue_.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Cycle arrival = r.u64();
+            queue_.emplace_back(arrival, loadItem(r));
+        }
     }
 
   private:

@@ -177,6 +177,17 @@ class MeshNetwork : public Network
     /** Resolved intra-cycle thread count (1 = serial scheduler). */
     unsigned cycleThreads() const { return cycle_threads_; }
 
+    // --- checkpoint/restore ---
+    /** Serializes all dynamic network state (routers, NIs, channels,
+     *  activity masks, counters, RNG).  Must be called at a cycle
+     *  boundary; fatals when fault injection is configured (the fault
+     *  engine's schedule position is not serialized). */
+    void save(SnapshotWriter &w) const override;
+
+    /** Restores state written by save(); topology/VC structure must
+     *  match the saving network. */
+    void restore(SnapshotReader &r) override;
+
   private:
     friend class DoubleNetwork;
 
@@ -289,6 +300,12 @@ class DoubleNetwork : public Network
 
     /** Combined snapshot of both slices. */
     std::string diagnosticReport(Cycle now) const override;
+
+    /** Serializes shared state plus both slices (checkpoint). */
+    void save(SnapshotWriter &w) const override;
+
+    /** Restores state written by save(). */
+    void restore(SnapshotReader &r) override;
     /** Installs `handler` on both slices. */
     void
     setWatchdogHandler(WatchdogHandler handler)

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "common/snapshot.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace tenoc
@@ -364,6 +365,90 @@ NetworkInterface::audit() const
         }
     }
     return info;
+}
+
+void
+NetworkInterface::save(SnapshotWriter &w) const
+{
+    w.tag("NIFC");
+    tenoc_assert(!delta_.dirty, "NI snapshot with pending deferred stats");
+    w.u32(pending_inject_);
+    w.u32(ej_occupancy_);
+    w.u64(inj_queues_.size());
+    for (const auto &q : inj_queues_) {
+        w.u64(q.size());
+        for (const PacketPtr &pkt : q)
+            savePacket(w, pkt);
+    }
+    for (const auto &port : active_) {
+        for (const ActivePacket &act : port) {
+            w.boolean(act.valid);
+            if (!act.valid)
+                continue;
+            savePacket(w, act.pkt);
+            w.u64(act.flits.size());
+            for (const Flit &flit : act.flits)
+                saveFlit(w, flit);
+            w.u32(act.next);
+        }
+    }
+    for (const unsigned rr : lane_rr_)
+        w.u32(rr);
+    for (const unsigned rr : vc_rr_)
+        w.u32(rr);
+    w.u32(class_rr_);
+    w.u32(port_rr_);
+    for (const auto &buf : ej_bufs_) {
+        w.u64(buf.size());
+        for (const Flit &flit : buf)
+            saveFlit(w, flit);
+    }
+}
+
+void
+NetworkInterface::restore(SnapshotReader &r)
+{
+    r.tag("NIFC");
+    pending_inject_ = r.u32();
+    ej_occupancy_ = r.u32();
+    const std::uint64_t classes = r.u64();
+    tenoc_assert(classes == inj_queues_.size(),
+                 "NI class count mismatch");
+    for (auto &q : inj_queues_) {
+        q.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i)
+            q.push_back(loadPacket(r));
+    }
+    for (auto &port : active_) {
+        for (ActivePacket &act : port) {
+            act.valid = r.boolean();
+            if (!act.valid) {
+                act.pkt.reset();
+                act.flits.clear();
+                act.next = 0;
+                continue;
+            }
+            act.pkt = loadPacket(r);
+            act.flits.clear();
+            const std::uint64_t n = r.u64();
+            for (std::uint64_t i = 0; i < n; ++i)
+                act.flits.push_back(loadFlit(r));
+            act.next = r.u32();
+        }
+    }
+    for (unsigned &rr : lane_rr_)
+        rr = r.u32();
+    for (unsigned &rr : vc_rr_)
+        rr = r.u32();
+    class_rr_ = r.u32();
+    port_rr_ = r.u32();
+    for (auto &buf : ej_bufs_) {
+        buf.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i)
+            buf.push_back(loadFlit(r));
+    }
 }
 
 } // namespace tenoc

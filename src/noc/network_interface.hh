@@ -126,6 +126,14 @@ class NetworkInterface : public EjectionSink
     /** @return true when all queues and buffers are empty. */
     bool idle() const;
 
+    // --- checkpoint/restore ---
+    /** Serializes all dynamic NI state.  Must be called at a cycle
+     *  boundary, where the deferred-stats delta is empty. */
+    void save(SnapshotWriter &w) const;
+
+    /** Restores state written by save(). */
+    void restore(SnapshotReader &r);
+
     // --- deferred stats (parallel phase execution) ---
 
     /**

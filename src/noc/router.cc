@@ -5,6 +5,7 @@
 
 #include "noc/router.hh"
 
+#include "common/snapshot.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace tenoc
@@ -369,6 +370,54 @@ Router::bufferedFlits() const
     for (const auto &p : inputs_)
         n += p.totalOccupancy();
     return n;
+}
+
+void
+Router::save(SnapshotWriter &w) const
+{
+    w.tag("RTRS");
+    for (const InputPort &in : inputs_)
+        in.save(w);
+    for (const OutputPort &out : outputs_) {
+        for (const OutputVcState &vc : out.vcs) {
+            w.boolean(vc.owned);
+            w.u32(vc.ownerIn);
+            w.u32(vc.ownerVc);
+            w.u32(vc.credits);
+        }
+        w.u32(out.vaArb.pointer());
+        w.u32(out.saArb.pointer());
+    }
+    for (const RoundRobinArbiter &arb : sa_input_arb_)
+        w.u32(arb.pointer());
+    w.u32(ej_rr_);
+    w.u64(flits_traversed_);
+    for (const std::uint64_t f : link_flits_)
+        w.u64(f);
+}
+
+void
+Router::restore(SnapshotReader &r)
+{
+    r.tag("RTRS");
+    for (InputPort &in : inputs_)
+        in.restore(r);
+    for (OutputPort &out : outputs_) {
+        for (OutputVcState &vc : out.vcs) {
+            vc.owned = r.boolean();
+            vc.ownerIn = r.u32();
+            vc.ownerVc = r.u32();
+            vc.credits = r.u32();
+        }
+        out.vaArb.setPointer(r.u32());
+        out.saArb.setPointer(r.u32());
+    }
+    for (RoundRobinArbiter &arb : sa_input_arb_)
+        arb.setPointer(r.u32());
+    ej_rr_ = r.u32();
+    flits_traversed_ = r.u64();
+    for (std::uint64_t &f : link_flits_)
+        f = r.u64();
 }
 
 } // namespace tenoc

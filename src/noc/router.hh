@@ -222,6 +222,15 @@ class Router
         }
     }
 
+    // --- checkpoint/restore ---
+    /** Serializes all dynamic router state (buffers, VC ownership,
+     *  credits, arbiter pointers, counters). */
+    void save(SnapshotWriter &w) const;
+
+    /** Restores state written by save(); structural parameters must
+     *  match the saving router. */
+    void restore(SnapshotReader &r);
+
     // --- fault hooks (FaultEngine / mutation tests) ---
     /**
      * Deliberately leaks one downstream credit on output VC

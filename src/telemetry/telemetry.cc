@@ -133,7 +133,12 @@ TelemetryHub::writeOutputs(const StatGroup *root)
     if (!config_.statsJsonPath.empty()) {
         if (root) {
             toFile(config_.statsJsonPath, [&](std::ostream &os) {
-                JsonMetricSink().write(*root, os);
+                JsonValue doc = JsonMetricSink::toJson(*root);
+                if (!config_.configHash.empty())
+                    doc.set("config_hash",
+                            JsonValue(config_.configHash));
+                doc.write(os, 2);
+                os << "\n";
             });
         } else {
             warn("telemetry: --stats-json requested but no stats "
@@ -151,8 +156,13 @@ TelemetryHub::writeOutputs(const StatGroup *root)
         }
     }
     if (sampler_ && !config_.intervalCsvPath.empty()) {
-        toFile(config_.intervalCsvPath,
-               [&](std::ostream &os) { sampler_->writeCsv(os); });
+        toFile(config_.intervalCsvPath, [&](std::ostream &os) {
+            sampler_->writeCsv(os);
+            // Trailing metadata comment: the header row must stay on
+            // line 1 for existing consumers.
+            if (!config_.configHash.empty())
+                os << "# config_hash=" << config_.configHash << "\n";
+        });
     }
     if (tracer_ && !config_.tracePath.empty()) {
         toFile(config_.tracePath,

@@ -42,6 +42,11 @@ struct TelemetryConfig
     std::string tracePath;       ///< Chrome trace JSON ("" = off)
     Cycle intervalCycles = 1000; ///< sampling window (icnt cycles)
     std::uint64_t traceSampleEvery = 64; ///< packet-id sampling rate
+    /** Canonical config hash (Config::canonicalHashHex()) echoed into
+     *  the stats-JSON header and as interval-CSV trailing metadata so
+     *  output files are traceable to the exact configuration that
+     *  produced them ("" = omit). */
+    std::string configHash;
 
     bool
     any() const
