@@ -12,6 +12,7 @@
  * the two modes diverge on any network statistic it samples.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -19,6 +20,7 @@
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accel/experiments.hh"
@@ -219,6 +221,20 @@ runThreadsSweep(unsigned threads, double scale)
 }
 
 /**
+ * Huge-mesh scaling sweep (`--mesh-sweep`): runs the identical
+ * many-to-few workload at a fixed 0.1 flits/node/cycle injection rate
+ * on 8x8 through 64x64 meshes (128x128 with `--huge`; it takes a
+ * while) and reports the size-normalized simulation throughput
+ * `cycles_per_sec_per_router` — aggregate router-cycles simulated per
+ * wall second (icnt cycles/sec x routers).  The structure-of-arrays
+ * hot path keeps this roughly flat as the mesh grows; a drop at large
+ * dims means the per-router cost regressed.  Cycle counts shrink with
+ * the router count so every point does comparable total work.
+ */
+int
+runMeshSweep(bool huge, double scale, const std::string &compare_path);
+
+/**
  * Regression gate (`--compare baseline.json`): matches the measured
  * points against a previously written BENCH_noc_speed.json on
  * (load, scheduler) and fails if any point's cycles/second dropped
@@ -318,6 +334,167 @@ compareBaseline(const std::string &path,
     return 0;
 }
 
+/**
+ * Mesh-sweep regression gate: matches baseline points on `dim` and
+ * fails when `cycles_per_sec_per_router` dropped more than the
+ * tolerance (TENOC_SPEED_TOLERANCE, default 15%).  Small meshes are
+ * noisy in shared-runner CI, so only dims at or above the gate dim
+ * (TENOC_MESH_GATE_DIM, default 32) fail the run; smaller points are
+ * reported informationally.
+ */
+int
+compareMeshBaseline(const std::string &path,
+                    const std::vector<std::pair<unsigned, double>>
+                        &current)
+{
+    using telemetry::JsonValue;
+
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "noc_speed: cannot open baseline '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    JsonValue doc;
+    std::string err;
+    if (!JsonValue::parse(text, doc, &err) || !doc.isObject()) {
+        std::fprintf(stderr, "noc_speed: bad baseline '%s': %s\n",
+                     path.c_str(), err.c_str());
+        return 1;
+    }
+    const JsonValue *points = doc.find("points");
+    if (!points || !points->isArray()) {
+        std::fprintf(stderr,
+                     "noc_speed: baseline '%s' has no points array\n",
+                     path.c_str());
+        return 1;
+    }
+
+    double tolerance = 0.15;
+    if (const char *env = std::getenv("TENOC_SPEED_TOLERANCE")) {
+        const double v = std::atof(env);
+        if (v > 0.0 && v < 1.0)
+            tolerance = v;
+    }
+    unsigned gate_dim = 32;
+    if (const char *env = std::getenv("TENOC_MESH_GATE_DIM")) {
+        const long v = std::atol(env);
+        if (v >= 0)
+            gate_dim = static_cast<unsigned>(v);
+    }
+
+    std::printf("\ncomparing against %s (tolerance -%.0f%%, gating "
+                "dims >= %u):\n",
+                path.c_str(), tolerance * 100.0, gate_dim);
+    int failures = 0;
+    unsigned matched = 0;
+    for (const auto &[dim, rate] : current) {
+        const JsonValue *base = nullptr;
+        for (const JsonValue &bp : points->asArray()) {
+            if (!bp.isObject())
+                continue;
+            const JsonValue *bdim = bp.find("dim");
+            if (bdim && bdim->isNumber() &&
+                static_cast<unsigned>(bdim->asNumber()) == dim) {
+                base = &bp;
+                break;
+            }
+        }
+        if (!base) {
+            std::printf("  %3ux%-3u: no baseline point, skipped\n",
+                        dim, dim);
+            continue;
+        }
+        const JsonValue *brate = base->find("cycles_per_sec_per_router");
+        if (!brate || !brate->isNumber() || brate->asNumber() <= 0.0)
+            continue;
+        ++matched;
+        const double ratio = rate / brate->asNumber();
+        const bool gated = dim >= gate_dim;
+        const bool bad = gated && ratio < 1.0 - tolerance;
+        std::printf("  %3ux%-3u: %.3e vs %.3e router-cycles/s "
+                    "(%+.1f%%)%s%s\n",
+                    dim, dim, rate, brate->asNumber(),
+                    (ratio - 1.0) * 100.0,
+                    gated ? "" : "  [informational]",
+                    bad ? "  REGRESSION" : "");
+        if (bad)
+            ++failures;
+    }
+    if (matched == 0) {
+        std::fprintf(stderr, "noc_speed: no baseline points matched — "
+                             "stale baseline file?\n");
+        return 1;
+    }
+    if (failures != 0) {
+        std::fprintf(stderr, "noc_speed: %d mesh point(s) regressed "
+                             "more than %.0f%% in router-cycles/"
+                             "second\n",
+                     failures, tolerance * 100.0);
+        return 1;
+    }
+    std::printf("  all %u matched point(s) within tolerance\n",
+                matched);
+    return 0;
+}
+
+int
+runMeshSweep(bool huge, double scale, const std::string &compare_path)
+{
+    using telemetry::JsonValue;
+
+    const double LOAD = 0.1;
+    std::vector<unsigned> dims = {8, 16, 32, 64};
+    if (huge)
+        dims.push_back(128);
+
+    std::printf("noc_speed --mesh-sweep: %.2f flits/node/cycle, "
+                "8x8..%ux%u (scale %.2f)\n",
+                LOAD, dims.back(), dims.back(), scale);
+
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("benchmark", JsonValue("noc_speed"));
+    doc.set("mode", JsonValue("mesh_sweep"));
+    doc.set("load", JsonValue(LOAD));
+    doc.set("scale", JsonValue(scale));
+    JsonValue points = JsonValue::makeArray();
+    std::vector<std::pair<unsigned, double>> rates;
+    for (const unsigned dim : dims) {
+        // Constant total router-cycles per point: the 64x64 budget of
+        // 2000 cycles scales up as the mesh shrinks.
+        const double budget = 2000.0 * scale * (64.0 * 64.0) /
+                              (static_cast<double>(dim) * dim);
+        const auto cycles =
+            std::max<Cycle>(100, static_cast<Cycle>(budget));
+        const auto pt = runPoint(true, LOAD, cycles, 1, dim);
+        const auto routers = static_cast<double>(dim) * dim;
+        const double per_router = pt.cyclesPerSec * routers;
+        rates.emplace_back(dim, per_router);
+        std::printf("  %3ux%-3u %8llu cycles %12.3e cycles/s "
+                    "%12.3e router-cycles/s (%.2fs wall)\n",
+                    dim, dim,
+                    static_cast<unsigned long long>(pt.cycles),
+                    pt.cyclesPerSec, per_router, pt.wallSeconds);
+
+        JsonValue v = pointJson(pt);
+        v.set("dim", JsonValue(std::uint64_t{dim}));
+        v.set("routers",
+              JsonValue(static_cast<std::uint64_t>(routers)));
+        v.set("cycles_per_sec_per_router", JsonValue(per_router));
+        points.push(v);
+    }
+    doc.set("points", points);
+    std::ofstream os("BENCH_noc_speed.json");
+    doc.write(os);
+    os << "\n";
+    std::printf("\nwrote BENCH_noc_speed.json\n");
+    if (!compare_path.empty())
+        return compareMeshBaseline(compare_path, rates);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -328,14 +505,22 @@ main(int argc, char **argv)
     // TENOC_SCALE (or a positional number) shortens the run for CI
     // smoke tests; --threads-sweep [N] switches to the serial-vs-
     // parallel engine sweep (N cycle threads, default 8);
-    // --compare FILE gates on a prior BENCH_noc_speed.json.
+    // --mesh-sweep [--huge] to the 8x8..64x64 (..128x128) scaling
+    // sweep; --compare FILE gates on a prior BENCH_noc_speed.json of
+    // the same mode.
     double scale = envScale(1.0);
     bool threads_sweep = false;
+    bool mesh_sweep = false;
+    bool mesh_huge = false;
     unsigned sweep_threads = 8;
     std::string compare_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--threads-sweep") {
+        if (arg == "--mesh-sweep") {
+            mesh_sweep = true;
+        } else if (arg == "--huge") {
+            mesh_huge = true;
+        } else if (arg == "--threads-sweep") {
             threads_sweep = true;
             if (i + 1 < argc) {
                 const long t = std::atol(argv[i + 1]);
@@ -352,6 +537,8 @@ main(int argc, char **argv)
                 scale = v;
         }
     }
+    if (mesh_sweep)
+        return runMeshSweep(mesh_huge, scale, compare_path);
     if (threads_sweep)
         return runThreadsSweep(sweep_threads, scale);
     const auto low_cycles =

@@ -26,6 +26,7 @@
 #define TENOC_COMMON_PARALLEL_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <type_traits>
 #include <utility>
 
@@ -34,6 +35,29 @@ namespace tenoc::parallel
 
 /** Hard ceiling on cycle threads (and thus worker-slot indices). */
 constexpr unsigned MAX_CYCLE_THREADS = 16;
+
+/**
+ * Alignment/padding granule for per-worker scratch that different
+ * workers write concurrently (deferred-mark buffers, per-shard
+ * counters).  Two workers mutating fields on the same line serialize
+ * on cache-coherence traffic even though they never touch the same
+ * byte; padding each worker's slot to this size keeps them apart.
+ * 64 bytes covers x86; 128 also covers adjacent-line prefetch pairs
+ * and arm64 big cores.
+ */
+constexpr std::size_t CACHE_LINE = 128;
+
+/**
+ * A 64-bit counter padded to its own cache line.  Use one per worker
+ * for tallies each worker increments privately during a phase (e.g.
+ * per-shard switch-traversal counts) and the orchestrator folds at the
+ * barrier; a bare uint64_t array would put several workers' counters
+ * on one line.
+ */
+struct alignas(CACHE_LINE) PaddedU64
+{
+    std::uint64_t value = 0;
+};
 
 /**
  * Slot index of the calling thread inside a parallelFor region: the

@@ -56,7 +56,7 @@ class ActiveSet
             // races with nothing and already-set bits (the common
             // case: waking an active component) cost no buffer entry.
             if (!test(i))
-                deferred_[parallel::workerSlot()].push_back(i);
+                deferred_[parallel::workerSlot()].buf.push_back(i);
             return;
         }
         words_[i >> 6] |= WORD_ONE << (i & 63);
@@ -127,10 +127,10 @@ class ActiveSet
     void
     mergeDeferredMarks()
     {
-        for (auto &buf : deferred_) {
-            for (const unsigned i : buf)
+        for (auto &slot : deferred_) {
+            for (const unsigned i : slot.buf)
                 words_[i >> 6] |= WORD_ONE << (i & 63);
-            buf.clear();
+            slot.buf.clear();
         }
     }
 
@@ -204,10 +204,22 @@ class ActiveSet
 
   private:
     static constexpr std::uint64_t WORD_ONE = 1;
+
+    /**
+     * One worker's mark buffer, padded to a cache line: adjacent
+     * std::vector headers (size/capacity pointers mutated on every
+     * push_back) otherwise share a line and false-share across the
+     * workers of a parallel phase.
+     */
+    struct alignas(parallel::CACHE_LINE) DeferredSlot
+    {
+        std::vector<unsigned> buf;
+    };
+
     std::vector<std::uint64_t> words_;
     bool deferring_ = false;
     /** Per-worker-slot mark buffers (see file comment). */
-    std::vector<std::vector<unsigned>> deferred_;
+    std::vector<DeferredSlot> deferred_;
 };
 
 } // namespace tenoc

@@ -6,6 +6,8 @@
 #ifndef TENOC_NOC_ARBITER_HH
 #define TENOC_NOC_ARBITER_HH
 
+#include <bit>
+#include <cstdint>
 #include <vector>
 
 #include "common/log.hh"
@@ -47,6 +49,27 @@ class RoundRobinArbiter
                 return idx;
         }
         return size_;
+    }
+
+    /**
+     * Bitmask grant: identical result to grant() with requests packed
+     * into bit i of `requests`, in O(1) via count-trailing-zeros (the
+     * winner is the lowest set bit at or after the pointer, else the
+     * lowest set bit overall).  Usable whenever size() <= 64 — every
+     * router-local arbiter (inputs * vcs requestors) qualifies.
+     *
+     * @return winning index, or size() if no requests
+     */
+    unsigned
+    grantMask(std::uint64_t requests) const
+    {
+        tenoc_assert(size_ <= 64, "mask arbiter needs <= 64 requestors");
+        if (requests == 0)
+            return size_;
+        const std::uint64_t at_or_after =
+            requests & (~std::uint64_t{0} << pointer_);
+        return static_cast<unsigned>(std::countr_zero(
+            at_or_after ? at_or_after : requests));
     }
 
     /** Advances priority past `winner` (call when grant is accepted). */

@@ -11,11 +11,11 @@
 #ifndef TENOC_NOC_CHANNEL_HH
 #define TENOC_NOC_CHANNEL_HH
 
-#include <deque>
 #include <optional>
 #include <utility>
 
 #include "common/log.hh"
+#include "common/ring.hh"
 #include "common/snapshot.hh"
 #include "common/types.hh"
 #include "noc/activity.hh"
@@ -26,6 +26,12 @@ namespace tenoc
 /**
  * FIFO channel with delivery latency.  At most one item may be pushed
  * per cycle (enforced); receivers poll with receive(now).
+ *
+ * In-flight items live in an inline-storage ring (common/ring.hh): a
+ * steady-state channel (population bounded by its latency) touches no
+ * heap at all.  The ring makes channels non-copyable; networks store
+ * them by value in a std::deque, which constructs in place and never
+ * relocates.
  */
 template <typename T>
 class Channel
@@ -54,7 +60,7 @@ class Channel
         tenoc_assert(last_send_ == INVALID_CYCLE || now > last_send_,
                      "channel accepts at most one item per cycle");
         last_send_ = now;
-        queue_.emplace_back(now + latency_, std::move(item));
+        queue_.emplace_back(Entry{now + latency_, std::move(item)});
         if (wake_set_)
             wake_set_->mark(wake_idx_);
     }
@@ -63,9 +69,9 @@ class Channel
     std::optional<T>
     receive(Cycle now)
     {
-        if (stalled_ || queue_.empty() || queue_.front().first > now)
+        if (stalled_ || queue_.empty() || queue_.front().arrival > now)
             return std::nullopt;
-        T item = std::move(queue_.front().second);
+        T item = std::move(queue_.front().item);
         queue_.pop_front();
         return item;
     }
@@ -92,8 +98,7 @@ class Channel
     void
     forEachInFlight(F &&f) const
     {
-        for (const auto &e : queue_)
-            f(e.second);
+        queue_.forEach([&](const Entry &e) { f(e.item); });
     }
 
     /** @return true if no items are in flight. */
@@ -108,7 +113,7 @@ class Channel
     Cycle
     earliestArrival() const
     {
-        return queue_.empty() ? INVALID_CYCLE : queue_.front().first;
+        return queue_.empty() ? INVALID_CYCLE : queue_.front().arrival;
     }
 
     /** Serializes dynamic state; `saveItem(w, item)` encodes one
@@ -120,10 +125,10 @@ class Channel
         w.u64(last_send_);
         w.boolean(stalled_);
         w.u64(queue_.size());
-        for (const auto &[arrival, item] : queue_) {
-            w.u64(arrival);
-            saveItem(w, item);
-        }
+        queue_.forEach([&](const Entry &e) {
+            w.u64(e.arrival);
+            saveItem(w, e.item);
+        });
     }
 
     /** Restores state written by save(); `loadItem(r)` decodes one
@@ -138,15 +143,21 @@ class Channel
         const std::uint64_t n = r.u64();
         for (std::uint64_t i = 0; i < n; ++i) {
             const Cycle arrival = r.u64();
-            queue_.emplace_back(arrival, loadItem(r));
+            queue_.emplace_back(Entry{arrival, loadItem(r)});
         }
     }
 
   private:
+    struct Entry
+    {
+        Cycle arrival;
+        T item;
+    };
+
     Cycle latency_;
     Cycle last_send_ = INVALID_CYCLE;
     bool stalled_ = false;
-    std::deque<std::pair<Cycle, T>> queue_;
+    RingQueue<Entry> queue_;
     ActiveSet *wake_set_ = nullptr;
     unsigned wake_idx_ = 0;
 };

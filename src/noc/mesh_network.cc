@@ -155,8 +155,15 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
     router_active_.resize(topo_.numNodes());
     ni_active_.resize(topo_.numNodes());
 
-    // Routers.
-    routers_.reserve(topo_.numNodes());
+    // Routers.  Geometry pre-pass first: per-node parameters decide
+    // how many input/output VCs each router contributes, the slab
+    // arena is sized once, and every router views a contiguous
+    // node-ordered range of it (see slab.hh).
+    std::vector<Router::Params> node_params;
+    node_params.reserve(topo_.numNodes());
+    std::size_t in_vcs = 0;
+    std::size_t out_vcs = 0;
+    const unsigned vcs = vc_map_.numVcs();
     for (NodeId n = 0; n < topo_.numNodes(); ++n) {
         Router::Params rp;
         rp.vcMap = vc_map_;
@@ -169,8 +176,22 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
             rp.numInjPorts = params_.mcInjPorts;
             rp.numEjPorts = params_.mcEjPorts;
         }
-        routers_.push_back(
-            std::make_unique<Router>(n, topo_, *routing_, rp));
+        in_vcs += (NUM_DIRS + rp.numInjPorts) * vcs;
+        out_vcs += (NUM_DIRS + rp.numEjPorts) * vcs;
+        node_params.push_back(std::move(rp));
+    }
+    slabs_.configure(in_vcs, out_vcs, params_.vcDepth);
+    slabs_.setValidate(params_.validate);
+
+    routers_.reserve(topo_.numNodes());
+    std::size_t in_base = 0;
+    std::size_t out_base = 0;
+    for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+        const Router::Params &rp = node_params[n];
+        routers_.push_back(std::make_unique<Router>(
+            n, topo_, *routing_, rp, slabs_, in_base, out_base));
+        in_base += (NUM_DIRS + rp.numInjPorts) * vcs;
+        out_base += (NUM_DIRS + rp.numEjPorts) * vcs;
         routers_[n]->setActivity(&router_active_, n);
         routers_[n]->setTraversalCounter(&flits_traversed_total_);
         checker_->addRouter(routers_[n].get());
@@ -179,31 +200,29 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
     }
 
     // Channels between adjacent routers (one flit + one credit channel
-    // per direction per edge).
+    // per direction per edge), by value in node-then-direction wiring
+    // order — the order MeshNetwork::cycle streams them.
     for (NodeId n = 0; n < topo_.numNodes(); ++n) {
         for (unsigned d = 0; d < NUM_DIRS; ++d) {
             const auto dir = static_cast<Direction>(d);
             const NodeId nb = topo_.neighbor(n, dir);
             if (nb == INVALID_NODE)
                 continue;
-            auto fc =
-                std::make_unique<Channel<Flit>>(params_.channelLatency);
-            auto cc = std::make_unique<Channel<Credit>>(
-                params_.channelLatency);
-            routers_[n]->connectOutput(dir, fc.get(), cc.get());
-            routers_[nb]->connectInput(opposite(dir), fc.get(),
-                                       cc.get());
+            Channel<Flit> &fc =
+                flit_channels_.emplace_back(params_.channelLatency);
+            Channel<Credit> &cc =
+                credit_channels_.emplace_back(params_.channelLatency);
+            routers_[n]->connectOutput(dir, &fc, &cc);
+            routers_[nb]->connectInput(opposite(dir), &fc, &cc);
             // A send wakes whichever router will eventually receive:
             // flits travel n -> nb, credits return nb -> n.
-            fc->setWakeTarget(&router_active_, nb);
-            cc->setWakeTarget(&router_active_, n);
-            checker_->addLink(routers_[n].get(), d, fc.get(), cc.get(),
+            fc.setWakeTarget(&router_active_, nb);
+            cc.setWakeTarget(&router_active_, n);
+            checker_->addLink(routers_[n].get(), d, &fc, &cc,
                               routers_[nb].get(),
                               static_cast<unsigned>(opposite(dir)));
             if (faults_)
-                faults_->registerLink(n, d, fc.get());
-            flit_channels_.push_back(std::move(fc));
-            credit_channels_.push_back(std::move(cc));
+                faults_->registerLink(n, d, &fc);
         }
     }
 
@@ -232,12 +251,14 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
     if (cycle_threads_ > 1) {
         router_active_.enableDeferredMarks();
         ni_active_.enableDeferredMarks();
-        shard_traversed_.assign(cycle_threads_, 0);
+        shard_traversed_.assign(cycle_threads_, parallel::PaddedU64{});
         for (unsigned s = 0; s < cycle_threads_; ++s) {
             const auto [lo, hi] = parallel::shardRange(
                 s, topo_.numNodes(), cycle_threads_);
-            for (NodeId n = lo; n < hi; ++n)
-                routers_[n]->setTraversalCounter(&shard_traversed_[s]);
+            for (NodeId n = lo; n < hi; ++n) {
+                routers_[n]->setTraversalCounter(
+                    &shard_traversed_[s].value);
+            }
         }
         for (auto &ni : nis_)
             ni->setDeferredStats(true);
@@ -298,9 +319,32 @@ MeshNetwork::cycle(Cycle now)
         }
         for (auto &ni : nis_)
             ni->injectPhase(now);
-        for (auto &r : routers_) {
-            if (!fe || !fe->routerFrozen(r->id()))
-                r->compute(now);
+        if (tracer_attached_) {
+            // Legacy whole-router ticks keep trace events in
+            // per-router RC/VA/SA order.
+            for (auto &r : routers_) {
+                if (!fe || !fe->routerFrozen(r->id()))
+                    r->compute(now);
+            }
+        } else {
+            // Batch each pipeline stage across all routers: one
+            // streaming pass per stage over the slab arrays.  Routers
+            // only interact through >= 1-cycle channels, so nothing a
+            // router's stage writes is visible to any other router
+            // until next cycle's readInputs, and reordering (RC all,
+            // VA all, SA all) is bit-identical to per-router ticks.
+            for (auto &r : routers_) {
+                if (!fe || !fe->routerFrozen(r->id()))
+                    r->routeCompute(now);
+            }
+            for (auto &r : routers_) {
+                if (!fe || !fe->routerFrozen(r->id()))
+                    r->vcAllocate(now);
+            }
+            for (auto &r : routers_) {
+                if (!fe || !fe->routerFrozen(r->id()))
+                    r->switchAllocate(now);
+            }
         }
         for (auto &ni : nis_)
             ni->drainPhase(now);
@@ -319,12 +363,34 @@ MeshNetwork::cycle(Cycle now)
             routers_[n]->readInputs(now);
     });
     ni_active_.forEach([&](unsigned n) { nis_[n]->injectPhase(now); });
-    router_active_.forEach([&](unsigned n) {
-        if (routers_[n]->bufferedFlits() &&
-            (!fe || !fe->routerFrozen(n))) {
-            routers_[n]->compute(now);
-        }
-    });
+    if (tracer_attached_) {
+        router_active_.forEach([&](unsigned n) {
+            if (routers_[n]->bufferedFlits() &&
+                (!fe || !fe->routerFrozen(n))) {
+                routers_[n]->compute(now);
+            }
+        });
+    } else {
+        // Batched stages (see the full-sweep branch above for why this
+        // is bit-exact).  Each stage's own O(vcs) eligibility scan
+        // subsumes the bufferedFlits() guard: with nothing buffered
+        // every stage is a no-op.  Routers marked mid-pass by a
+        // channel send have their new flit still in flight (>= 1 cycle
+        // of latency), so any pass that visits them no-ops — exactly
+        // what the whole-router tick did.
+        router_active_.forEach([&](unsigned n) {
+            if (!fe || !fe->routerFrozen(n))
+                routers_[n]->routeCompute(now);
+        });
+        router_active_.forEach([&](unsigned n) {
+            if (!fe || !fe->routerFrozen(n))
+                routers_[n]->vcAllocate(now);
+        });
+        router_active_.forEach([&](unsigned n) {
+            if (!fe || !fe->routerFrozen(n))
+                routers_[n]->switchAllocate(now);
+        });
+    }
     ni_active_.forEach([&](unsigned n) { nis_[n]->drainPhase(now); });
     // Retire components that ran dry: a retired router/NI is re-marked
     // by the event that next gives it work (channel send, injection,
@@ -392,11 +458,31 @@ MeshNetwork::engineCycle(Cycle now)
         router_active_.mergeDeferredMarks();
         runPhase([&](unsigned s) {
             const auto [lo, hi] = parallel::shardRange(s, nodes, S);
+            if (tracer_attached_) {
+                // Whole-router ticks keep trace events in per-router
+                // RC/VA/SA order (shards run inline under a tracer).
+                router_active_.forEachInRange(lo, hi, [&](unsigned n) {
+                    if (routers_[n]->bufferedFlits() &&
+                        (!fe || !fe->routerFrozen(n))) {
+                        routers_[n]->compute(now);
+                    }
+                });
+                return;
+            }
+            // Batched pipeline stages over this shard's slab slice
+            // (bit-exact: routers only interact across >= 1-cycle
+            // channels; see the serial scheduler).
             router_active_.forEachInRange(lo, hi, [&](unsigned n) {
-                if (routers_[n]->bufferedFlits() &&
-                    (!fe || !fe->routerFrozen(n))) {
-                    routers_[n]->compute(now);
-                }
+                if (!fe || !fe->routerFrozen(n))
+                    routers_[n]->routeCompute(now);
+            });
+            router_active_.forEachInRange(lo, hi, [&](unsigned n) {
+                if (!fe || !fe->routerFrozen(n))
+                    routers_[n]->vcAllocate(now);
+            });
+            router_active_.forEachInRange(lo, hi, [&](unsigned n) {
+                if (!fe || !fe->routerFrozen(n))
+                    routers_[n]->switchAllocate(now);
             });
         });
         // Ejection (router -> NI) wakes NIs for the drain phase;
@@ -428,9 +514,24 @@ MeshNetwork::engineCycle(Cycle now)
         router_active_.mergeDeferredMarks();
         runPhase([&](unsigned s) {
             const auto [lo, hi] = parallel::shardRange(s, nodes, S);
+            if (tracer_attached_) {
+                for (unsigned n = lo; n < hi; ++n) {
+                    if (!fe || !fe->routerFrozen(n))
+                        routers_[n]->compute(now);
+                }
+                return;
+            }
             for (unsigned n = lo; n < hi; ++n) {
                 if (!fe || !fe->routerFrozen(n))
-                    routers_[n]->compute(now);
+                    routers_[n]->routeCompute(now);
+            }
+            for (unsigned n = lo; n < hi; ++n) {
+                if (!fe || !fe->routerFrozen(n))
+                    routers_[n]->vcAllocate(now);
+            }
+            for (unsigned n = lo; n < hi; ++n) {
+                if (!fe || !fe->routerFrozen(n))
+                    routers_[n]->switchAllocate(now);
             }
         });
         router_active_.mergeDeferredMarks();
@@ -450,8 +551,8 @@ MeshNetwork::engineCycle(Cycle now)
     // Fold per-shard traversal counts into the network total before
     // anything downstream (watchdog, telemetry, checker) reads it.
     for (auto &t : shard_traversed_) {
-        flits_traversed_total_ += t;
-        t = 0;
+        flits_traversed_total_ += t.value;
+        t.value = 0;
     }
 
     if (params_.idleSkip) {
@@ -1020,12 +1121,12 @@ MeshNetwork::save(SnapshotWriter &w) const
     for (const auto &ni : nis_)
         ni->save(w);
     for (const auto &ch : flit_channels_) {
-        ch->save(w, [](SnapshotWriter &sw, const Flit &f) {
+        ch.save(w, [](SnapshotWriter &sw, const Flit &f) {
             saveFlit(sw, f);
         });
     }
     for (const auto &ch : credit_channels_) {
-        ch->save(w, [](SnapshotWriter &sw, const Credit &c) {
+        ch.save(w, [](SnapshotWriter &sw, const Credit &c) {
             sw.u32(c.vc);
         });
     }
@@ -1082,11 +1183,11 @@ MeshNetwork::restore(SnapshotReader &r)
         router->restore(r);
     for (const auto &ni : nis_)
         ni->restore(r);
-    for (const auto &ch : flit_channels_) {
-        ch->restore(r, [](SnapshotReader &sr) { return loadFlit(sr); });
+    for (auto &ch : flit_channels_) {
+        ch.restore(r, [](SnapshotReader &sr) { return loadFlit(sr); });
     }
-    for (const auto &ch : credit_channels_) {
-        ch->restore(r, [](SnapshotReader &sr) {
+    for (auto &ch : credit_channels_) {
+        ch.restore(r, [](SnapshotReader &sr) {
             Credit c;
             c.vc = sr.u32();
             return c;

@@ -8,16 +8,19 @@
 #ifndef TENOC_NOC_MESH_NETWORK_HH
 #define TENOC_NOC_MESH_NETWORK_HH
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "noc/faults.hh"
 #include "noc/invariants.hh"
 #include "noc/network.hh"
 #include "noc/network_interface.hh"
 #include "noc/router.hh"
+#include "noc/slab.hh"
 #include "telemetry/json.hh"
 
 namespace tenoc
@@ -213,10 +216,20 @@ class MeshNetwork : public Network
     VcMap vc_map_;
     Rng rng_;
 
+    /**
+     * Structure-of-arrays arena holding every router's VC state
+     * machines, flit rings and output-VC bookkeeping in node order
+     * (see slab.hh).  Declared before the routers that view it so it
+     * outlives them on destruction.
+     */
+    VcSlabs slabs_;
+
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<NetworkInterface>> nis_;
-    std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
-    std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
+    /** Channels by value in wiring order (a deque constructs in place
+     *  and never relocates, so wired pointers stay stable). */
+    std::deque<Channel<Flit>> flit_channels_;
+    std::deque<Channel<Credit>> credit_channels_;
 
     std::unique_ptr<NetStats> owned_stats_;
     NetStats *stats_;
@@ -248,8 +261,10 @@ class MeshNetwork : public Network
      *  trace callbacks stay single-threaded and in component order. */
     bool tracer_attached_ = false;
     /** Per-shard switch-traversal counts, folded into
-     *  flits_traversed_total_ at the end-of-cycle barrier. */
-    std::vector<std::uint64_t> shard_traversed_;
+     *  flits_traversed_total_ at the end-of-cycle barrier.  One cache
+     *  line per shard: each worker increments its counter on every
+     *  switch traversal, so adjacent bare words would false-share. */
+    std::vector<parallel::PaddedU64> shard_traversed_;
 
     /** Monotone flit entry/exit counters for THIS network (NetStats
      *  totals are shared between double-network slices); their

@@ -5,6 +5,9 @@
 
 #include "noc/router.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/snapshot.hh"
 #include "telemetry/trace_sink.hh"
 
@@ -13,29 +16,62 @@ namespace tenoc
 
 Router::Router(NodeId id, const Topology &topo,
                RoutingAlgorithm &routing, const Params &params)
-    : id_(id), topo_(topo), routing_(routing), params_(params)
+    : id_(id), topo_(topo), routing_(routing), params_(params),
+      nvcs_(params.vcMap.numVcs()),
+      owned_slab_(std::make_unique<VcSlabs>()),
+      slab_(owned_slab_.get()), in_base_(0), out_base_(0)
 {
     tenoc_assert(params_.numInjPorts >= 1 && params_.numEjPorts >= 1,
                  "router needs at least one injection/ejection port");
-    const unsigned vcs = numVcs();
-    inputs_.assign(numInputs(), InputPort(vcs, params_.vcDepth));
+    owned_slab_->configure(numInputs() * nvcs_, numOutputs() * nvcs_,
+                           params_.vcDepth);
+    initPorts();
+}
+
+Router::Router(NodeId id, const Topology &topo,
+               RoutingAlgorithm &routing, const Params &params,
+               VcSlabs &slab, std::size_t in_vc_base,
+               std::size_t out_vc_base)
+    : id_(id), topo_(topo), routing_(routing), params_(params),
+      nvcs_(params.vcMap.numVcs()), slab_(&slab), in_base_(in_vc_base),
+      out_base_(out_vc_base)
+{
+    tenoc_assert(params_.numInjPorts >= 1 && params_.numEjPorts >= 1,
+                 "router needs at least one injection/ejection port");
+    tenoc_assert(in_base_ + numInputs() * nvcs_ <= slab.numInputVcs() &&
+                     out_base_ + numOutputs() * nvcs_ <=
+                         slab.numOutputVcs() &&
+                     slab.depth() == params_.vcDepth,
+                 "router view exceeds slab at node ", id_);
+    initPorts();
+}
+
+void
+Router::initPorts()
+{
+    const unsigned vcs = nvcs_;
+    inputs_.reserve(numInputs());
+    for (unsigned in = 0; in < numInputs(); ++in) {
+        inputs_.emplace_back(*slab_, in_base_ + in * vcs, vcs,
+                             params_.vcDepth);
+    }
     outputs_.resize(numOutputs());
     in_links_.resize(NUM_DIRS);
     sa_input_arb_.assign(numInputs(), RoundRobinArbiter(vcs));
+    mask_alloc_ = numInputs() * vcs <= 64;
+    va_out_reqs_.resize(numOutputs());
+    sa_out_mask_.resize(numOutputs());
     va_requests_.resize(numInputs() * vcs);
     sa_vc_requests_.resize(vcs);
     sa_out_requests_.resize(numInputs());
     sa_nominee_.resize(numInputs());
     for (unsigned o = 0; o < numOutputs(); ++o) {
-        outputs_[o].vcs.resize(vcs);
         outputs_[o].vaArb.resize(numInputs() * vcs);
         outputs_[o].saArb.resize(numInputs());
-        if (isEjection(o)) {
-            // Ejection capacity is governed by the NI sink, not
-            // credits.
-            for (auto &v : outputs_[o].vcs)
-                v.credits = 0;
-        }
+        // Output VC credits start at zero (slab configure() default):
+        // mesh outputs gain vcDepth credits when wired via
+        // connectOutput(); ejection capacity is governed by the NI
+        // sink, not credits.
     }
 }
 
@@ -46,8 +82,8 @@ Router::connectOutput(Direction d, Channel<Flit> *flit_out,
     tenoc_assert(d < NUM_DIRS, "invalid output direction");
     outputs_[d].flitOut = flit_out;
     outputs_[d].creditIn = credit_in;
-    for (auto &v : outputs_[d].vcs)
-        v.credits = params_.vcDepth;
+    for (unsigned vc = 0; vc < nvcs_; ++vc)
+        slab_->outCredits[ov(d, vc)] = params_.vcDepth;
 }
 
 void
@@ -99,7 +135,7 @@ Router::readInputs(Cycle now)
         }
         if (outputs_[d].creditIn) {
             while (auto c = outputs_[d].creditIn->receive(now))
-                ++outputs_[d].vcs[c->vc].credits;
+                ++slab_->outCredits[ov(d, c->vc)];
         }
     }
 }
@@ -131,7 +167,21 @@ void
 Router::routeCompute(Cycle now)
 {
     (void)now;
-    const unsigned vcs = numVcs();
+    const unsigned vcs = nvcs_;
+    const unsigned n = numInputs() * vcs;
+    // Contiguous-scan early-out: RC only acts on an idle VC with a
+    // buffered head flit; with none present the stage is a no-op.
+    const VcState *st = slab_->inState.data() + in_base_;
+    const std::uint32_t *cnt = slab_->ringCount.data() + in_base_;
+    bool eligible = false;
+    for (unsigned i = 0; i < n; ++i) {
+        if (st[i] == VcState::IDLE && cnt[i] != 0) {
+            eligible = true;
+            break;
+        }
+    }
+    if (!eligible)
+        return;
     for (unsigned in = 0; in < numInputs(); ++in) {
         for (unsigned vc = 0; vc < vcs; ++vc) {
             auto &port = inputs_[in];
@@ -159,6 +209,9 @@ Router::routeCompute(Cycle now)
                          "full", "-router ", id_, ": in=", dirName(in),
                          " out=", dirName(out));
             port.setOutPort(vc, out);
+            // The packet is already hot here; caching its VC-class base
+            // spares VC allocation the pointer chase entirely.
+            port.setBaseVc(vc, params_.vcMap.baseVc(pkt));
             port.setState(vc, VcState::VC_ALLOC);
         }
     }
@@ -167,20 +220,100 @@ Router::routeCompute(Cycle now)
 void
 Router::vcAllocate(Cycle now)
 {
-    const unsigned vcs = numVcs();
+    if (!mask_alloc_) {
+        vcAllocateWide(now);
+        return;
+    }
+    const unsigned vcs = nvcs_;
+    const unsigned n = numInputs() * vcs;
+    // One contiguous pass over the state slab builds the per-output
+    // requestor masks (bit i = input VC i wants this output); outputs
+    // with no requestors are skipped entirely, which is bit-exact
+    // because an arbiter only advances when a grant is accepted.
+    const VcState *st = slab_->inState.data() + in_base_;
+    const std::uint32_t *op = slab_->inOutPort.data() + in_base_;
+    bool any = false;
+    std::fill(va_out_reqs_.begin(), va_out_reqs_.end(), 0);
+    for (unsigned i = 0; i < n; ++i) {
+        if (st[i] == VcState::VC_ALLOC) {
+            va_out_reqs_[op[i]] |= std::uint64_t{1} << i;
+            any = true;
+        }
+    }
+    if (!any)
+        return;
+    for (unsigned o = 0; o < numOutputs(); ++o) {
+        std::uint64_t reqs = va_out_reqs_[o];
+        if (reqs == 0)
+            continue;
+        auto &out = outputs_[o];
+        // Grant output VCs in round-robin requestor order until the
+        // eligible VCs run out.
+        while (reqs != 0) {
+            const unsigned idx = out.vaArb.grantMask(reqs);
+            const unsigned in = idx / vcs;
+            const unsigned vc = idx % vcs;
+            const unsigned base = inputs_[in].baseVc(vc);
+            unsigned granted = vcs;
+            for (unsigned l = 0; l < params_.vcMap.vcsPerClass; ++l) {
+                const unsigned cand = base + l;
+                if (!slab_->outOwned[ov(o, cand)]) {
+                    granted = cand;
+                    break;
+                }
+            }
+            reqs &= ~(std::uint64_t{1} << idx);
+            if (granted == vcs) {
+                // No eligible VC free; the requestor retries next
+                // cycle.  Other requestors may still want different
+                // (protocol/routing class) VCs.
+                continue;
+            }
+            const std::size_t g = ov(o, granted);
+            slab_->outOwned[g] = 1;
+            slab_->outOwnerIn[g] = in;
+            slab_->outOwnerVc[g] = vc;
+            inputs_[in].setOutVc(vc, granted);
+            inputs_[in].setState(vc, VcState::ACTIVE);
+            out.vaArb.accept(idx);
+            if (tracer_) {
+                const Packet &pkt = *inputs_[in].front(vc).pkt;
+                if (tracer_->wants(pkt.id))
+                    tracer_->instant("va", id_, pkt.id, now);
+            }
+        }
+    }
+}
+
+void
+Router::vcAllocateWide(Cycle now)
+{
+    const unsigned vcs = nvcs_;
+    const unsigned n = numInputs() * vcs;
+    const VcState *st = slab_->inState.data() + in_base_;
+    const std::uint32_t *op = slab_->inOutPort.data() + in_base_;
+    // Early-out: without a VC in VC_ALLOC the stage is a no-op.  The
+    // output bitmap (o & 63) may alias when >64 outputs exist, which
+    // only ever *adds* candidate outputs, never skips a live one.
+    std::uint64_t out_mask = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        if (st[i] == VcState::VC_ALLOC)
+            out_mask |= std::uint64_t{1} << (op[i] & 63);
+    }
+    if (out_mask == 0)
+        return;
     auto &requests = va_requests_;
     for (unsigned o = 0; o < numOutputs(); ++o) {
+        if (o < 64 && !(out_mask >> o & 1))
+            continue;
         auto &out = outputs_[o];
         // Collect requestors targeting this output.
-        requests.assign(numInputs() * vcs, false);
+        requests.assign(n, false);
         bool any = false;
-        for (unsigned in = 0; in < numInputs(); ++in) {
-            for (unsigned vc = 0; vc < vcs; ++vc) {
-                if (inputs_[in].state(vc) == VcState::VC_ALLOC &&
-                    inputs_[in].outPort(vc) == o) {
-                    requests[in * vcs + vc] = true;
-                    any = true;
-                }
+        for (unsigned i = 0; i < n; ++i) {
+            if (st[i] == VcState::VC_ALLOC && op[i] == o) {
+                requests[i] = true;
+                any = true;
             }
         }
         if (!any)
@@ -198,7 +331,7 @@ Router::vcAllocate(Cycle now)
             unsigned granted = vcs;
             for (unsigned l = 0; l < params_.vcMap.vcsPerClass; ++l) {
                 const unsigned cand = base + l;
-                if (!out.vcs[cand].owned) {
+                if (!slab_->outOwned[ov(o, cand)]) {
                     granted = cand;
                     break;
                 }
@@ -210,9 +343,10 @@ Router::vcAllocate(Cycle now)
                 // (protocol/routing class) VCs.
                 continue;
             }
-            out.vcs[granted].owned = true;
-            out.vcs[granted].ownerIn = in;
-            out.vcs[granted].ownerVc = vc;
+            const std::size_t g = ov(o, granted);
+            slab_->outOwned[g] = 1;
+            slab_->outOwnerIn[g] = in;
+            slab_->outOwnerVc[g] = vc;
             inputs_[in].setOutVc(vc, granted);
             inputs_[in].setState(vc, VcState::ACTIVE);
             out.vaArb.accept(idx);
@@ -225,7 +359,158 @@ Router::vcAllocate(Cycle now)
 void
 Router::switchAllocate(Cycle now)
 {
-    const unsigned vcs = numVcs();
+    if (!mask_alloc_) {
+        switchAllocateWide(now);
+        return;
+    }
+    const unsigned vcs = nvcs_;
+    const unsigned n = numInputs() * vcs;
+    // One contiguous pass over the state slab finds every ACTIVE VC
+    // with a buffered flit (bit i = input VC i); the expensive per-flit
+    // eligibility checks below only touch those bits.
+    const VcState *st = slab_->inState.data() + in_base_;
+    const std::uint32_t *cnt = slab_->ringCount.data() + in_base_;
+    std::uint64_t cand = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        if (st[i] == VcState::ACTIVE && cnt[i] != 0)
+            cand |= std::uint64_t{1} << i;
+    }
+    if (cand == 0)
+        return;
+
+    // Input stage: each input port nominates one ready VC.
+    auto &nominee = sa_nominee_;
+    nominee.assign(numInputs(), vcs);
+    std::fill(sa_out_mask_.begin(), sa_out_mask_.end(), 0);
+    const std::uint64_t vc_mask =
+        vcs >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << vcs) - 1;
+    bool any_nominee = false;
+    for (unsigned in = 0; in < numInputs(); ++in) {
+        std::uint64_t req = (cand >> (in * vcs)) & vc_mask;
+        if (req == 0)
+            continue;
+        auto &port = inputs_[in];
+        std::uint64_t eligible = 0;
+        for (std::uint64_t m = req; m != 0; m &= m - 1) {
+            const unsigned vc =
+                static_cast<unsigned>(std::countr_zero(m));
+            const Flit &f = port.front(vc);
+            // A flit spends `pipelineDepth` cycles in the router (it
+            // departs no earlier than arrival + depth), giving the
+            // paper's 5-cycle hops for 4-stage routers + 1-cycle
+            // channels (Sec. III-B).
+            if (f.enqueueCycle + params_.pipelineDepth > now)
+                continue; // still in the router pipeline
+            const unsigned o = port.outPort(vc);
+            if (isEjection(o)) {
+                tenoc_assert(sink_, "no ejection sink attached");
+                if (!sink_->ejectReady(o - NUM_DIRS))
+                    continue;
+            } else {
+                if (slab_->outCredits[ov(o, port.outVc(vc))] == 0)
+                    continue;
+            }
+            eligible |= std::uint64_t{1} << vc;
+        }
+        if (eligible == 0)
+            continue;
+        unsigned win = vcs;
+        if (params_.agePriority) {
+            Cycle best = INVALID_CYCLE;
+            for (std::uint64_t m = eligible; m != 0; m &= m - 1) {
+                const unsigned vc =
+                    static_cast<unsigned>(std::countr_zero(m));
+                const Cycle age = packetAge(port.front(vc));
+                if (win == vcs || age < best) {
+                    best = age;
+                    win = vc;
+                }
+            }
+        } else {
+            win = sa_input_arb_[in].grantMask(eligible);
+        }
+        nominee[in] = win;
+        sa_out_mask_[port.outPort(win)] |= std::uint64_t{1} << in;
+        any_nominee = true;
+    }
+    if (!any_nominee)
+        return;
+
+    // Output stage: one winner per output port.
+    for (unsigned o = 0; o < numOutputs(); ++o) {
+        const std::uint64_t reqs = sa_out_mask_[o];
+        if (reqs == 0)
+            continue;
+        unsigned in = numInputs();
+        if (params_.agePriority) {
+            Cycle best = INVALID_CYCLE;
+            for (std::uint64_t m = reqs; m != 0; m &= m - 1) {
+                const unsigned c =
+                    static_cast<unsigned>(std::countr_zero(m));
+                const Cycle age = packetAge(inputs_[c].front(nominee[c]));
+                if (in == numInputs() || age < best) {
+                    best = age;
+                    in = c;
+                }
+            }
+        } else {
+            in = outputs_[o].saArb.grantMask(reqs);
+        }
+        const unsigned vc = nominee[in];
+
+        // Switch traversal.
+        Flit flit = inputs_[in].pop(vc);
+        const unsigned out_vc = inputs_[in].outVc(vc);
+        const bool tail = flit.tail;
+        if (!isInjection(in) && in_links_[in].creditOut)
+            in_links_[in].creditOut->send(Credit{flit.vc}, now);
+        if (tracer_ && flit.head && tracer_->wants(flit.pkt->id)) {
+            tracer_->complete(isEjection(o) ? "eject_hop" : "hop", id_,
+                              flit.pkt->id, flit.enqueueCycle, now);
+        }
+        flit.vc = out_vc;
+        if (isEjection(o)) {
+            sink_->ejectFlit(o - NUM_DIRS, std::move(flit), now);
+        } else {
+            auto &credits = slab_->outCredits[ov(o, out_vc)];
+            tenoc_assert(credits > 0, "SA granted without credit");
+            --credits;
+            outputs_[o].flitOut->send(std::move(flit), now);
+            ++link_flits_[o];
+        }
+        if (tail) {
+            slab_->outOwned[ov(o, out_vc)] = 0;
+            inputs_[in].setState(vc, VcState::IDLE);
+        }
+        ++flits_traversed_;
+        if (net_traversed_)
+            ++*net_traversed_;
+        sa_input_arb_[in].accept(vc);
+        outputs_[o].saArb.accept(in);
+    }
+}
+
+void
+Router::switchAllocateWide(Cycle now)
+{
+    const unsigned vcs = nvcs_;
+    const unsigned n = numInputs() * vcs;
+    // Contiguous-scan early-out: SA considers only active VCs with
+    // buffered flits; with none present neither stage builds a request,
+    // so no arbiter moves and no flit traverses — a no-op.
+    {
+        const VcState *st = slab_->inState.data() + in_base_;
+        const std::uint32_t *cnt = slab_->ringCount.data() + in_base_;
+        bool eligible = false;
+        for (unsigned i = 0; i < n; ++i) {
+            if (st[i] == VcState::ACTIVE && cnt[i] != 0) {
+                eligible = true;
+                break;
+            }
+        }
+        if (!eligible)
+            return;
+    }
     // Input stage: each input port nominates one ready VC.
     auto &nominee = sa_nominee_;
     nominee.assign(numInputs(), vcs);
@@ -250,7 +535,7 @@ Router::switchAllocate(Cycle now)
                 if (!sink_->ejectReady(o - NUM_DIRS))
                     continue;
             } else {
-                if (outputs_[o].vcs[port.outVc(vc)].credits == 0)
+                if (slab_->outCredits[ov(o, port.outVc(vc))] == 0)
                     continue;
             }
             requests[vc] = true;
@@ -322,14 +607,14 @@ Router::switchAllocate(Cycle now)
         if (isEjection(o)) {
             sink_->ejectFlit(o - NUM_DIRS, std::move(flit), now);
         } else {
-            auto &ovc = outputs_[o].vcs[out_vc];
-            tenoc_assert(ovc.credits > 0, "SA granted without credit");
-            --ovc.credits;
+            auto &credits = slab_->outCredits[ov(o, out_vc)];
+            tenoc_assert(credits > 0, "SA granted without credit");
+            --credits;
             outputs_[o].flitOut->send(std::move(flit), now);
             ++link_flits_[o];
         }
         if (tail) {
-            outputs_[o].vcs[out_vc].owned = false;
+            slab_->outOwned[ov(o, out_vc)] = 0;
             inputs_[in].setState(vc, VcState::IDLE);
         }
         ++flits_traversed_;
@@ -378,15 +663,16 @@ Router::save(SnapshotWriter &w) const
     w.tag("RTRS");
     for (const InputPort &in : inputs_)
         in.save(w);
-    for (const OutputPort &out : outputs_) {
-        for (const OutputVcState &vc : out.vcs) {
-            w.boolean(vc.owned);
-            w.u32(vc.ownerIn);
-            w.u32(vc.ownerVc);
-            w.u32(vc.credits);
+    for (unsigned o = 0; o < numOutputs(); ++o) {
+        for (unsigned vc = 0; vc < nvcs_; ++vc) {
+            const std::size_t i = ov(o, vc);
+            w.boolean(slab_->outOwned[i] != 0);
+            w.u32(slab_->outOwnerIn[i]);
+            w.u32(slab_->outOwnerVc[i]);
+            w.u32(slab_->outCredits[i]);
         }
-        w.u32(out.vaArb.pointer());
-        w.u32(out.saArb.pointer());
+        w.u32(outputs_[o].vaArb.pointer());
+        w.u32(outputs_[o].saArb.pointer());
     }
     for (const RoundRobinArbiter &arb : sa_input_arb_)
         w.u32(arb.pointer());
@@ -400,17 +686,25 @@ void
 Router::restore(SnapshotReader &r)
 {
     r.tag("RTRS");
-    for (InputPort &in : inputs_)
+    for (InputPort &in : inputs_) {
         in.restore(r);
-    for (OutputPort &out : outputs_) {
-        for (OutputVcState &vc : out.vcs) {
-            vc.owned = r.boolean();
-            vc.ownerIn = r.u32();
-            vc.ownerVc = r.u32();
-            vc.credits = r.u32();
+        // The VC-class base cached by RC is derived state outside the
+        // snapshot format; rebuild it for VCs awaiting allocation.
+        for (unsigned vc = 0; vc < nvcs_; ++vc) {
+            if (in.state(vc) == VcState::VC_ALLOC)
+                in.setBaseVc(vc, params_.vcMap.baseVc(*in.front(vc).pkt));
         }
-        out.vaArb.setPointer(r.u32());
-        out.saArb.setPointer(r.u32());
+    }
+    for (unsigned o = 0; o < numOutputs(); ++o) {
+        for (unsigned vc = 0; vc < nvcs_; ++vc) {
+            const std::size_t i = ov(o, vc);
+            slab_->outOwned[i] = r.boolean() ? 1 : 0;
+            slab_->outOwnerIn[i] = r.u32();
+            slab_->outOwnerVc[i] = r.u32();
+            slab_->outCredits[i] = r.u32();
+        }
+        outputs_[o].vaArb.setPointer(r.u32());
+        outputs_[o].saArb.setPointer(r.u32());
     }
     for (RoundRobinArbiter &arb : sa_input_arb_)
         arb.setPointer(r.u32());

@@ -26,12 +26,23 @@
  * Multi-port MC routers (Sec. IV-D, Fig. 15(b)) add extra injection
  * and/or ejection ports that raise terminal bandwidth without touching
  * link bandwidth.  Ejection-port choice is round-robin at RC time.
+ *
+ * Storage layout: all per-VC state (input state machines, flit rings,
+ * output VC ownership/credits) lives in a VcSlabs arena.  A router
+ * built by MeshNetwork views contiguous index ranges of the network's
+ * shared arena (see slab.hh); a standalone router owns a private one.
+ * The pipeline stages (routeCompute/vcAllocate/switchAllocate) are
+ * public so the network can batch one stage across all active routers
+ * — each stage early-outs in O(vcs) contiguous loads when it has no
+ * eligible VC, which is exactly the case where running it would have
+ * been a no-op.
  */
 
 #ifndef TENOC_NOC_ROUTER_HH
 #define TENOC_NOC_ROUTER_HH
 
 #include <array>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -41,6 +52,7 @@
 #include "noc/buffer.hh"
 #include "noc/channel.hh"
 #include "noc/routing.hh"
+#include "noc/slab.hh"
 #include "noc/topology.hh"
 #include "noc/vc_map.hh"
 
@@ -85,12 +97,22 @@ class Router
         bool agePriority = false;
     };
 
+    /** Standalone router owning its own slab storage (unit tests). */
     Router(NodeId id, const Topology &topo, RoutingAlgorithm &routing,
            const Params &params);
 
+    /**
+     * Router viewing a network-owned arena: input VCs
+     * [in_vc_base, in_vc_base + numInputs*vcs) and output VCs
+     * [out_vc_base, out_vc_base + numOutputs*vcs) of `slab`.
+     */
+    Router(NodeId id, const Topology &topo, RoutingAlgorithm &routing,
+           const Params &params, VcSlabs &slab, std::size_t in_vc_base,
+           std::size_t out_vc_base);
+
     NodeId id() const { return id_; }
     const Params &params() const { return params_; }
-    unsigned numVcs() const { return params_.vcMap.numVcs(); }
+    unsigned numVcs() const { return nvcs_; }
     unsigned numInputs() const { return NUM_DIRS + params_.numInjPorts; }
     unsigned numOutputs() const { return NUM_DIRS + params_.numEjPorts; }
 
@@ -141,6 +163,18 @@ class Router
     /** Phase 2: RC, VA, SA, ST. */
     void compute(Cycle now);
 
+    // Individual pipeline stages, exposed so MeshNetwork can batch one
+    // stage across all active routers (better locality than ticking a
+    // whole router at a time).  Each early-outs when no VC is eligible
+    // — a case in which running it would not change any state, return
+    // any grant, or emit any trace event, so skipping is bit-exact.
+    /** RC: assign output ports to idle VCs with buffered heads. */
+    void routeCompute(Cycle now);
+    /** VA: round-robin output-VC grants to routed head flits. */
+    void vcAllocate(Cycle now);
+    /** SA + ST: separable switch allocation, then traversal. */
+    void switchAllocate(Cycle now);
+
     /** @return true if no flits are buffered here (O(inputs)). */
     bool empty() const;
 
@@ -188,22 +222,22 @@ class Router
     /** Credits held for downstream VC (`out`, `vc`). */
     unsigned outputCredits(unsigned out, unsigned vc) const
     {
-        return outputs_[out].vcs[vc].credits;
+        return slab_->outCredits[ov(out, vc)];
     }
     /** @return true if output VC (`out`, `vc`) is owned by a packet. */
     bool outputVcOwned(unsigned out, unsigned vc) const
     {
-        return outputs_[out].vcs[vc].owned;
+        return slab_->outOwned[ov(out, vc)] != 0;
     }
     /** Owning input port of output VC (`out`, `vc`) (owned only). */
     unsigned outputVcOwnerIn(unsigned out, unsigned vc) const
     {
-        return outputs_[out].vcs[vc].ownerIn;
+        return slab_->outOwnerIn[ov(out, vc)];
     }
     /** Owning input VC of output VC (`out`, `vc`) (owned only). */
     unsigned outputVcOwnerVc(unsigned out, unsigned vc) const
     {
-        return outputs_[out].vcs[vc].ownerVc;
+        return slab_->outOwnerVc[ov(out, vc)];
     }
     /** @return true if direction output `d` is wired to a channel. */
     bool
@@ -241,20 +275,31 @@ class Router
     bool
     dropCredit(unsigned out, unsigned vc)
     {
-        auto &ovc = outputs_[out].vcs[vc];
-        if (ovc.credits == 0)
+        auto &credits = slab_->outCredits[ov(out, vc)];
+        if (credits == 0)
             return false;
-        --ovc.credits;
+        --credits;
         return true;
     }
 
   private:
-    void routeCompute(Cycle now);
-    void vcAllocate(Cycle now);
-    void switchAllocate(Cycle now);
+    void initPorts();
+
+    // Fallback allocators for geometries whose requestor counts exceed
+    // 64 (so per-stage request state cannot pack into one word); the
+    // mask fast paths in vcAllocate/switchAllocate produce identical
+    // grants (see RoundRobinArbiter::grantMask).
+    void vcAllocateWide(Cycle now);
+    void switchAllocateWide(Cycle now);
 
     bool isInjection(unsigned in) const { return in >= NUM_DIRS; }
     bool isEjection(unsigned out) const { return out >= NUM_DIRS; }
+
+    /** Global slab index of output VC (`out`, `vc`). */
+    std::size_t ov(unsigned out, unsigned vc) const
+    {
+        return out_base_ + out * nvcs_ + vc;
+    }
 
     /** Chooses an ejection output port round-robin. */
     unsigned nextEjectionPort();
@@ -266,22 +311,22 @@ class Router
     const Topology &topo_;
     RoutingAlgorithm &routing_;
     Params params_;
+    unsigned nvcs_;
     EjectionSink *sink_ = nullptr;
+
+    // Private arena for standalone routers; null when viewing the
+    // network's shared slab.  Declared before the views into it.
+    std::unique_ptr<VcSlabs> owned_slab_;
+    VcSlabs *slab_;
+    std::size_t in_base_;  ///< first global input-VC index
+    std::size_t out_base_; ///< first global output-VC index
 
     std::vector<InputPort> inputs_;
 
-    struct OutputVcState
-    {
-        bool owned = false;
-        unsigned ownerIn = 0;
-        unsigned ownerVc = 0;
-        unsigned credits = 0;
-    };
     struct OutputPort
     {
         Channel<Flit> *flitOut = nullptr;   ///< null for ejection ports
         Channel<Credit> *creditIn = nullptr;
-        std::vector<OutputVcState> vcs;
         RoundRobinArbiter vaArb;  ///< VC-allocation arbiter
         RoundRobinArbiter saArb;  ///< switch output arbiter
     };
@@ -307,9 +352,14 @@ class Router
 
     // Allocation scratch, hoisted out of the per-cycle loops so the
     // hot path performs no heap allocation.
-    std::vector<bool> va_requests_;   ///< numInputs * vcs
-    std::vector<bool> sa_vc_requests_; ///< vcs (SA input stage)
-    std::vector<bool> sa_out_requests_; ///< numInputs (SA output stage)
+    /** True when numInputs*vcs <= 64: request sets pack into single
+     *  words and the allocators run their mask fast paths. */
+    bool mask_alloc_ = true;
+    std::vector<std::uint64_t> va_out_reqs_; ///< per-output VA masks
+    std::vector<std::uint64_t> sa_out_mask_; ///< per-output SA masks
+    std::vector<bool> va_requests_;   ///< numInputs * vcs (wide path)
+    std::vector<bool> sa_vc_requests_; ///< vcs (wide SA input stage)
+    std::vector<bool> sa_out_requests_; ///< numInputs (wide SA output)
     std::vector<unsigned> sa_nominee_; ///< per input port
 };
 

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Structure-of-arrays storage for the mesh hot state.
+ *
+ * All per-(router, port, VC) state of one network lives in flat
+ * parallel arrays owned by a single VcSlabs arena instead of
+ * pointer-rich per-object storage:
+ *
+ *   - input-VC state machines: pipeline state, assigned output port,
+ *     granted output VC — one contiguous array each, indexed by a
+ *     global input-VC index (router's base + port * vcs + vc),
+ *   - flit buffers: one ring of `vcDepth` slots per input VC, all
+ *     rings packed back to back in one flit slab (ring i occupies
+ *     slots [i*depth, (i+1)*depth)),
+ *   - output-VC bookkeeping: owned flag, owning input (port, VC) and
+ *     credit count, indexed by a global output-VC index.
+ *
+ * Routers receive contiguous index ranges in node order at network
+ * construction, so the ActiveSet's ascending-index iteration streams
+ * the arrays front to back and the parallel engine's shard boundaries
+ * (contiguous node ranges) partition the slabs into disjoint
+ * contiguous blocks.  Standalone routers (unit tests) own a private
+ * arena with the same layout.
+ *
+ * The arena is pure storage: every state-machine transition still
+ * happens in Router/InputPort code, so the refactor is invisible to
+ * stats, snapshots and the invariant checker.
+ */
+
+#ifndef TENOC_NOC_SLAB_HH
+#define TENOC_NOC_SLAB_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "noc/flit.hh"
+
+namespace tenoc
+{
+
+/** Pipeline state of one input virtual channel. */
+enum class VcState : std::uint8_t
+{
+    IDLE,     ///< no packet being routed through this VC
+    ROUTING,  ///< head flit buffered, awaiting route computation
+    VC_ALLOC, ///< route known, awaiting an output VC
+    ACTIVE    ///< output VC held; flits may traverse the switch
+};
+
+/** SoA arena for one network's router/VC/flit hot state. */
+class VcSlabs
+{
+  public:
+    VcSlabs() = default;
+
+    /**
+     * Allocates (or re-initializes, reusing capacity) storage for
+     * `input_vcs` input VCs with `depth`-flit rings and `output_vcs`
+     * output VCs.  All state resets to IDLE/unowned/zero-credit.
+     */
+    void
+    configure(std::size_t input_vcs, std::size_t output_vcs,
+              unsigned depth)
+    {
+        tenoc_assert(depth >= 1, "slab ring depth must be >= 1");
+        depth_ = depth;
+        inState.assign(input_vcs, VcState::IDLE);
+        inOutPort.assign(input_vcs, 0);
+        inOutVc.assign(input_vcs, 0);
+        inBaseVc.assign(input_vcs, 0);
+        ringHead.assign(input_vcs, 0);
+        ringCount.assign(input_vcs, 0);
+        // Rings of a re-used arena may still hold flits (and thus
+        // packet references) from the previous configuration; assign()
+        // on the vector releases them.
+        flits.assign(input_vcs * depth, Flit{});
+        outOwned.assign(output_vcs, 0);
+        outOwnerIn.assign(output_vcs, 0);
+        outOwnerVc.assign(output_vcs, 0);
+        outCredits.assign(output_vcs, 0);
+    }
+
+    unsigned depth() const { return depth_; }
+    std::size_t numInputVcs() const { return inState.size(); }
+    std::size_t numOutputVcs() const { return outOwned.size(); }
+
+    /**
+     * Arms out-of-range index checking on the ring operations (the
+     * state arrays are accessed through already-checked ring indices).
+     * Wired to MeshNetworkParams::validate / TENOC_VALIDATE=1.
+     */
+    void setValidate(bool on) { validate_ = on; }
+    bool validate() const { return validate_; }
+
+    // --- flit rings (index = global input-VC index) ---
+
+    /** Appends a flit to ring `vc_idx`; panics on overflow (a credit
+     *  protocol violation). */
+    void
+    pushFlit(std::size_t vc_idx, Flit &&flit)
+    {
+        if (validate_) {
+            tenoc_assert(vc_idx < ringCount.size(),
+                         "slab input-VC index ", vc_idx,
+                         " out of range ", ringCount.size());
+        }
+        const std::uint32_t count = ringCount[vc_idx];
+        tenoc_assert(count < depth_,
+                     "VC buffer overflow (credit protocol violated),"
+                     " slab vc index=", vc_idx);
+        std::size_t pos = ringHead[vc_idx] + count;
+        if (pos >= depth_)
+            pos -= depth_;
+        flits[vc_idx * depth_ + pos] = std::move(flit);
+        ringCount[vc_idx] = count + 1;
+    }
+
+    /** Removes and returns the head flit of ring `vc_idx`. */
+    Flit
+    popFlit(std::size_t vc_idx)
+    {
+        if (validate_) {
+            tenoc_assert(vc_idx < ringCount.size(),
+                         "slab input-VC index ", vc_idx,
+                         " out of range ", ringCount.size());
+        }
+        tenoc_assert(ringCount[vc_idx] != 0, "pop() on empty VC");
+        const std::uint32_t head = ringHead[vc_idx];
+        Flit f = std::move(flits[vc_idx * depth_ + head]);
+        ringHead[vc_idx] = head + 1 == depth_ ? 0 : head + 1;
+        --ringCount[vc_idx];
+        return f;
+    }
+
+    /** Head flit of ring `vc_idx` (must be non-empty). */
+    const Flit &
+    frontFlit(std::size_t vc_idx) const
+    {
+        tenoc_assert(ringCount[vc_idx] != 0, "front() on empty VC");
+        return flits[vc_idx * depth_ + ringHead[vc_idx]];
+    }
+
+    /** Calls f(flit) for each flit of ring `vc_idx`, head first. */
+    template <typename F>
+    void
+    forEachRingFlit(std::size_t vc_idx, F &&f) const
+    {
+        const std::size_t base = vc_idx * depth_;
+        std::size_t pos = ringHead[vc_idx];
+        for (std::uint32_t i = 0; i < ringCount[vc_idx]; ++i) {
+            f(flits[base + pos]);
+            if (++pos == depth_)
+                pos = 0;
+        }
+    }
+
+    /** Overwrites ring slot `i` (0 = head) of `vc_idx` directly;
+     *  restore-path helper (checkpoint). */
+    void
+    setRingSlot(std::size_t vc_idx, std::uint32_t i, Flit &&flit)
+    {
+        std::size_t pos = ringHead[vc_idx] + i;
+        while (pos >= depth_)
+            pos -= depth_;
+        flits[vc_idx * depth_ + pos] = std::move(flit);
+    }
+
+    // --- input-VC state machines ---
+    std::vector<VcState> inState;
+    std::vector<std::uint32_t> inOutPort; ///< RC-assigned output port
+    std::vector<std::uint32_t> inOutVc;   ///< VA-granted output VC
+    /// First eligible output VC of the head packet, cached by RC so VA
+    /// never dereferences the packet.  Derived state: reconstructed on
+    /// checkpoint restore, not part of the snapshot format.
+    std::vector<std::uint32_t> inBaseVc;
+
+    // --- output-VC bookkeeping ---
+    std::vector<std::uint8_t> outOwned;
+    std::vector<std::uint32_t> outOwnerIn;
+    std::vector<std::uint32_t> outOwnerVc;
+    std::vector<std::uint32_t> outCredits;
+
+    // --- flit rings ---
+    std::vector<std::uint32_t> ringHead;
+    std::vector<std::uint32_t> ringCount;
+    std::vector<Flit> flits;
+
+  private:
+    unsigned depth_ = 1;
+    bool validate_ = false;
+};
+
+} // namespace tenoc
+
+#endif // TENOC_NOC_SLAB_HH
