@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Chaos harness for the self-healing fleet (docs/fleet.md).
+ *
+ * Runs the same small sweep twice through an in-process FleetServer:
+ * once clean (no cache, no faults) to establish ground truth, then
+ * once with the chaos monkey armed — workers SIGKILL'd mid-run,
+ * workers stalled so their heartbeats stop, fresh cache entries
+ * corrupted — plus retries and periodic checkpoints enabled.  The
+ * sweep must converge to complete results that are *numerically
+ * identical* to the clean run, which proves end to end that
+ * retry-from-checkpoint resumes are bit-identical and that integrity
+ * eviction never serves damaged data.  A third pass corrupts a cache
+ * entry by hand and resubmits, proving eviction + recompute.
+ *
+ * Usage: fleet_chaos [path-to-tenoc_server]
+ * (defaults to the tenoc_server next to this binary)
+ *
+ * Writes BENCH_fleet_chaos.json; exits nonzero on any divergence.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "fleet/server.hh"
+#include "telemetry/json.hh"
+
+namespace fs = std::filesystem;
+using tenoc::fleet::FleetServer;
+using tenoc::fleet::JobOutcome;
+using tenoc::fleet::JobSpec;
+using tenoc::fleet::ResultCache;
+using tenoc::fleet::ServerOptions;
+using tenoc::telemetry::JsonValue;
+
+namespace
+{
+
+/** Result fields that must match between a clean and a chaos run. */
+const char *const COMPARED_FIELDS[] = {
+    "ipc",           "scalar_insts",      "core_cycles",
+    "icnt_cycles",   "mem_cycles",        "avg_net_latency",
+    "avg_total_latency", "mc_injection_rate", "dram_efficiency",
+    "dram_row_hit_rate", "packets_ejected"};
+
+std::string
+siblingServer(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    std::string self = argv0;
+    if (n > 0) {
+        buf[n] = '\0';
+        self = buf;
+    }
+    const auto slash = self.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : self.substr(0, slash);
+    return dir + "/tenoc_server";
+}
+
+std::vector<JobSpec>
+buildSweep()
+{
+    std::vector<JobSpec> jobs;
+    for (const char *vd : {"4", "6"}) {
+        for (const char *mhz : {"602", "700"}) {
+            JobSpec j;
+            j.workload = "MM";
+            j.scale = 0.02;
+            j.overrides.set("noc.vcDepth", std::string(vd));
+            j.overrides.set("clk.icntMhz", std::string(mhz));
+            j.name = std::string("vc") + vd + "-mhz" + mhz;
+            jobs.push_back(std::move(j));
+        }
+    }
+    return jobs;
+}
+
+bool
+parseDoc(const std::string &json, JsonValue &doc)
+{
+    std::string err;
+    return JsonValue::parse(json, doc, &err) && doc.isObject();
+}
+
+/** Compares the physics of two result documents field by field. */
+bool
+sameMetrics(const std::string &a_json, const std::string &b_json,
+            std::string &why)
+{
+    JsonValue a, b;
+    if (!parseDoc(a_json, a) || !parseDoc(b_json, b)) {
+        why = "unparseable result document";
+        return false;
+    }
+    for (const char *field : COMPARED_FIELDS) {
+        const JsonValue *av = a.find(field);
+        const JsonValue *bv = b.find(field);
+        if (!av || !bv || !av->isNumber() || !bv->isNumber()) {
+            why = std::string("missing field '") + field + "'";
+            return false;
+        }
+        if (av->asNumber() != bv->asNumber()) {
+            why = std::string(field) + ": " +
+                  std::to_string(av->asNumber()) + " vs " +
+                  std::to_string(bv->asNumber());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string server_exe =
+        argc > 1 ? argv[1] : siblingServer(argv[0]);
+    if (!fs::exists(server_exe)) {
+        std::cerr << "fleet_chaos: no tenoc_server at '" << server_exe
+                  << "' (build it first, or pass its path)\n";
+        return 2;
+    }
+
+    const std::string scratch = "fleet_chaos_scratch";
+    std::error_code ec;
+    fs::remove_all(scratch, ec);
+    fs::create_directories(scratch, ec);
+
+    const std::vector<JobSpec> jobs = buildSweep();
+    bool pass = true;
+    JsonValue report = JsonValue::makeObject();
+    report.set("schema", JsonValue("tenoc-bench-fleet-chaos-v1"));
+    report.set("jobs", JsonValue(static_cast<double>(jobs.size())));
+
+    // ---- Phase 1: ground truth (no cache, no faults, no retries).
+    std::cerr << "fleet_chaos: phase 1 -- clean baseline\n";
+    std::map<std::string, std::string> truth;
+    {
+        ServerOptions o;
+        o.workerExe = server_exe;
+        o.resultsDir = scratch + "/base-results";
+        o.retry.maxAttempts = 1;
+        o.defaultTimeoutSeconds = 300;
+        FleetServer server(o);
+        for (const JobOutcome &out : server.runJobs(jobs)) {
+            if (!out.ok) {
+                std::cerr << "fleet_chaos: baseline job " << out.hash
+                          << " failed: " << out.json << "\n";
+                return 2;
+            }
+            truth[out.hash] = out.json;
+        }
+    }
+
+    // ---- Phase 2: the same sweep under fire.  kill+stall sum to
+    // probability 1, so every attempt is faulted until the per-job
+    // budget (2) is spent — the convergence guarantee under test.
+    std::cerr << "fleet_chaos: phase 2 -- chaos sweep\n";
+    const std::string chaos_cache = scratch + "/chaos-cache";
+    std::uint64_t kills = 0, stalls = 0, corruptions = 0;
+    unsigned max_attempts_used = 0;
+    {
+        ServerOptions o;
+        o.workerExe = server_exe;
+        o.cacheDir = chaos_cache;
+        o.resultsDir = scratch + "/chaos-results";
+        o.defaultTimeoutSeconds = 300;
+        o.retry.maxAttempts = 5;
+        o.retry.backoffBaseSeconds = 0.05;
+        o.retry.backoffMaxSeconds = 0.2;
+        o.checkpointEveryCycles = 400;
+        o.heartbeatTimeoutSeconds = 2;
+        o.heartbeatIntervalCycles = 200;
+        o.chaos.killRate = 0.6;
+        o.chaos.stallRate = 0.4;
+        o.chaos.corruptRate = 0.5;
+        o.chaos.seed = 42;
+        o.chaos.faultBudgetPerJob = 2;
+        FleetServer server(o);
+        for (const JobOutcome &out : server.runJobs(jobs)) {
+            max_attempts_used =
+                std::max(max_attempts_used, out.attempts);
+            if (!out.ok) {
+                std::cerr << "fleet_chaos: chaos sweep did not "
+                             "converge: "
+                          << out.json << "\n";
+                pass = false;
+                continue;
+            }
+            std::string why;
+            if (!sameMetrics(truth[out.hash], out.json, why)) {
+                std::cerr << "fleet_chaos: chaos result for "
+                          << out.hash << " diverged (" << why
+                          << ")\n";
+                pass = false;
+            }
+        }
+        kills = server.chaosMonkey().killsInjected();
+        stalls = server.chaosMonkey().stallsInjected();
+        corruptions = server.chaosMonkey().corruptionsInjected();
+        std::cerr << "fleet_chaos: injected " << kills << " kills, "
+                  << stalls << " stalls, " << corruptions
+                  << " cache corruptions; deepest retry chain "
+                  << max_attempts_used << " attempts\n";
+        if (kills + stalls == 0) {
+            std::cerr << "fleet_chaos: chaos injected no worker "
+                         "faults -- harness is not testing anything\n";
+            pass = false;
+        }
+    }
+
+    // ---- Phase 2b: healing resubmit with chaos off.  Entries the
+    // monkey corrupted are evicted and recomputed, the rest served
+    // from cache; afterwards every entry is known-good, which phase 3
+    // relies on.
+    std::cerr << "fleet_chaos: phase 2b -- healing resubmit\n";
+    {
+        ServerOptions o;
+        o.workerExe = server_exe;
+        o.cacheDir = chaos_cache;
+        o.resultsDir = scratch + "/heal-results";
+        o.defaultTimeoutSeconds = 300;
+        FleetServer server(o);
+        for (const JobOutcome &out : server.runJobs(jobs)) {
+            std::string why;
+            if (!out.ok ||
+                !sameMetrics(truth[out.hash], out.json, why)) {
+                std::cerr << "fleet_chaos: healing result "
+                          << out.hash << " wrong (" << why << ")\n";
+                pass = false;
+            }
+        }
+    }
+
+    // ---- Phase 3: corrupt a cache entry by hand and resubmit with
+    // chaos off.  The damaged entry must be evicted and recomputed
+    // (cached=false), the rest served from cache, the numbers intact.
+    std::cerr << "fleet_chaos: phase 3 -- cache corruption recovery\n";
+    bool recomputed_ok = false;
+    {
+        const std::string victim = tenoc::fleet::jobHash(jobs.front());
+        ResultCache cache(chaos_cache);
+        if (!cache.corruptEntry(victim)) {
+            std::cerr << "fleet_chaos: no cache entry to corrupt for "
+                      << victim << "\n";
+            pass = false;
+        }
+        ServerOptions o;
+        o.workerExe = server_exe;
+        o.cacheDir = chaos_cache;
+        o.resultsDir = scratch + "/recover-results";
+        o.defaultTimeoutSeconds = 300;
+        FleetServer server(o);
+        for (const JobOutcome &out : server.runJobs(jobs)) {
+            std::string why;
+            if (!out.ok ||
+                !sameMetrics(truth[out.hash], out.json, why)) {
+                std::cerr << "fleet_chaos: post-corruption result "
+                          << out.hash << " wrong (" << why << ")\n";
+                pass = false;
+                continue;
+            }
+            if (out.hash == victim) {
+                recomputed_ok = !out.cached;
+                if (out.cached) {
+                    std::cerr << "fleet_chaos: corrupt entry was "
+                                 "served from cache\n";
+                    pass = false;
+                }
+            } else if (!out.cached) {
+                std::cerr << "fleet_chaos: intact entry " << out.hash
+                          << " was not served from cache\n";
+                pass = false;
+            }
+        }
+    }
+
+    report.set("kills_injected",
+               JsonValue(static_cast<double>(kills)));
+    report.set("stalls_injected",
+               JsonValue(static_cast<double>(stalls)));
+    report.set("cache_corruptions_injected",
+               JsonValue(static_cast<double>(corruptions)));
+    report.set("deepest_retry_chain",
+               JsonValue(static_cast<double>(max_attempts_used)));
+    report.set("corrupt_entry_recomputed", JsonValue(recomputed_ok));
+    report.set("pass", JsonValue(pass));
+    {
+        std::ofstream os("BENCH_fleet_chaos.json");
+        os << report.toString(2) << "\n";
+    }
+
+    std::cerr << (pass ? "fleet_chaos: PASS -- sweep converged to "
+                         "bit-identical results under fire\n"
+                       : "fleet_chaos: FAIL\n");
+    return pass ? 0 : 1;
+}

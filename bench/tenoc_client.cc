@@ -15,14 +15,21 @@
  *
  * Delivery (pick one):
  *   --connect SOCK        SUBMIT/RUN over a tenoc_server socket and
- *                         print each RESULT line
+ *                         print each RESULT line (connect is retried
+ *                         with backoff while the server comes up, and
+ *                         --telem echoes live TELEM frames to stderr)
  *   --spool DIR           drop a spec file into a server spool dir
  *   --out FILE            just write the spec file (inspect, CI, ...)
  */
 
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -51,7 +58,8 @@ usage()
         "                    [--config FILE] [--scale X] [--cycles N]"
         " [--timeout SECONDS]\n"
         "                    [--set key=value]... [--sweep"
-        " key=v1,v2,...]...\n";
+        " key=v1,v2,...]...\n"
+        "                    [--connect-retries N] [--telem]\n";
     return 2;
 }
 
@@ -112,30 +120,64 @@ specText(const std::vector<JobSpec> &jobs)
     return doc.toString(2) + "\n";
 }
 
+/**
+ * Connects to the server socket, retrying with linear backoff while
+ * the server is still coming up (or a chaos monkey dropped us at
+ * accept).  @return the connected fd, or -1 after the retry budget.
+ */
 int
-deliverSocket(const std::string &sock_path,
-              const std::vector<JobSpec> &jobs)
+connectWithRetry(const std::string &sock_path, unsigned retries)
 {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (sock_path.size() >= sizeof(addr.sun_path)) {
         std::cerr << "tenoc_client: socket path too long\n";
-        return 1;
+        return -1;
     }
     std::strncpy(addr.sun_path, sock_path.c_str(),
                  sizeof(addr.sun_path) - 1);
-    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-        std::cerr << "tenoc_client: socket failed\n";
-        return 1;
-    }
-    if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                sizeof(addr)) != 0) {
-        std::cerr << "tenoc_client: cannot connect to '" << sock_path
-                  << "'\n";
+
+    for (unsigned attempt = 0;; ++attempt) {
+        const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            std::cerr << "tenoc_client: socket failed\n";
+            return -1;
+        }
+        int rc;
+        do {
+            rc = connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr));
+        } while (rc != 0 && errno == EINTR);
+        if (rc == 0)
+            return fd;
         close(fd);
-        return 1;
+        // ECONNREFUSED/ENOENT: server not (re)started yet — its
+        // socket appears only once it is accepting.
+        const bool transient =
+            errno == ECONNREFUSED || errno == ENOENT;
+        if (!transient || attempt >= retries) {
+            std::cerr << "tenoc_client: cannot connect to '"
+                      << sock_path << "': " << std::strerror(errno)
+                      << "\n";
+            return -1;
+        }
+        timespec nap{0, 0};
+        nap.tv_nsec = 100'000'000L * static_cast<long>(
+                          std::min(attempt + 1U, 5U)); // 0.1s..0.5s
+        nanosleep(&nap, nullptr);
     }
+}
+
+int
+deliverSocket(const std::string &sock_path,
+              const std::vector<JobSpec> &jobs, unsigned retries,
+              bool show_telem)
+{
+    signal(SIGPIPE, SIG_IGN); // report a vanished server, don't die
+
+    const int fd = connectWithRetry(sock_path, retries);
+    if (fd < 0)
+        return 1;
 
     std::string request;
     for (const auto &job : jobs)
@@ -146,6 +188,8 @@ deliverSocket(const std::string &sock_path,
     while (off < request.size()) {
         const ssize_t n =
             write(fd, request.data() + off, request.size() - off);
+        if (n < 0 && errno == EINTR)
+            continue;
         if (n <= 0) {
             std::cerr << "tenoc_client: short write to server\n";
             close(fd);
@@ -154,12 +198,15 @@ deliverSocket(const std::string &sock_path,
         off += static_cast<std::size_t>(n);
     }
 
-    // Stream replies until DONE; RESULT payloads go to stdout.
+    // Stream replies until DONE; RESULT payloads go to stdout, TELEM
+    // frames (live worker heartbeats) to stderr when asked for.
     std::string buf;
     char chunk[4096];
     bool done = false, any_error = false;
     while (!done) {
         const ssize_t n = read(fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
         if (n <= 0)
             break;
         buf.append(chunk, static_cast<std::size_t>(n));
@@ -169,6 +216,9 @@ deliverSocket(const std::string &sock_path,
             buf.erase(0, nl + 1);
             if (line.rfind("RESULT ", 0) == 0) {
                 std::cout << line.substr(7) << "\n";
+            } else if (line.rfind("TELEM ", 0) == 0) {
+                if (show_telem)
+                    std::cerr << line << "\n";
             } else if (line.rfind("ERROR ", 0) == 0) {
                 std::cerr << "tenoc_client: server: "
                           << line.substr(6) << "\n";
@@ -195,6 +245,8 @@ main(int argc, char **argv)
     JobSpec base;
     std::vector<std::pair<std::string, std::vector<std::string>>> axes;
     std::string sock, spool, out;
+    unsigned connect_retries = 10;
+    bool show_telem = false;
 
     auto value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -236,6 +288,11 @@ main(int argc, char **argv)
         } else if (std::strcmp(arg, "--connect") == 0 &&
                    (v = value(i))) {
             sock = v;
+        } else if (std::strcmp(arg, "--connect-retries") == 0 &&
+                   (v = value(i))) {
+            connect_retries = static_cast<unsigned>(std::atol(v));
+        } else if (std::strcmp(arg, "--telem") == 0) {
+            show_telem = true;
         } else if (std::strcmp(arg, "--spool") == 0 && (v = value(i))) {
             spool = v;
         } else if (std::strcmp(arg, "--out") == 0 && (v = value(i))) {
@@ -255,13 +312,16 @@ main(int argc, char **argv)
     const std::vector<JobSpec> jobs = expandJobs(base, axes);
 
     if (!sock.empty())
-        return deliverSocket(sock, jobs);
+        return deliverSocket(sock, jobs, connect_retries, show_telem);
 
     const std::string text = specText(jobs);
     std::string path = out;
     if (!spool.empty()) {
         // Write-then-rename so the spool scanner never reads a torn
-        // spec.
+        // spec.  Create the spool so drops work before the server is
+        // up (it scans whatever exists when it starts).
+        std::error_code ec;
+        std::filesystem::create_directories(spool, ec);
         path = spool + "/spec-" + std::to_string(getpid()) + ".json";
         const std::string tmp = path + ".tmp";
         std::ofstream os(tmp);

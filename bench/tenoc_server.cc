@@ -10,6 +10,10 @@
  *
  * Worker processes are this same binary re-exec'd with --worker; keep
  * that dispatch first so a worker never parses server flags.
+ *
+ * Setting TENOC_CHAOS (e.g. "kill=0.5,stall=0.25,corrupt=0.3,seed=7")
+ * arms deterministic fault injection — see docs/fleet.md, "Chaos
+ * mode".
  */
 
 #include <cstdlib>
@@ -20,6 +24,7 @@
 
 #include <unistd.h>
 
+#include "fleet/chaos.hh"
 #include "fleet/server.hh"
 #include "fleet/worker.hh"
 
@@ -33,7 +38,16 @@ usage()
         "usage: tenoc_server (--spec FILE | --spool DIR [--once] |"
         " --listen SOCK)\n"
         "                    [--workers N] [--cache DIR]"
-        " [--results DIR] [--timeout SECONDS]\n";
+        " [--results DIR] [--timeout SECONDS]\n"
+        "                    [--retries N] [--backoff SECONDS]"
+        " [--backoff-max SECONDS]\n"
+        "                    [--checkpoint-every CYCLES]"
+        " [--heartbeat-timeout SECONDS]\n"
+        "                    [--hb-cycles CYCLES] [--rlimit-as-mb MB]"
+        " [--rlimit-cpu SECONDS]\n"
+        "                    [--max-queue N] [--journal FILE]\n"
+        "env: TENOC_CHAOS=\"kill=P,stall=P,corrupt=P,drop=P,seed=S,"
+        "budget=N\"\n";
     return 2;
 }
 
@@ -69,29 +83,59 @@ main(int argc, char **argv)
     using namespace tenoc::fleet;
 
     if (argc > 1 && std::strcmp(argv[1], "--worker") == 0) {
-        std::string job_file, out_file, watchdog_file;
+        WorkerOptions wopts;
         for (int i = 2; i < argc; ++i) {
             std::string v;
             if (std::strcmp(argv[i], "--job") == 0 &&
                 needValue(argc, argv, i, v)) {
-                job_file = v;
+                wopts.jobFile = v;
             } else if (std::strcmp(argv[i], "--out") == 0 &&
                        needValue(argc, argv, i, v)) {
-                out_file = v;
+                wopts.outFile = v;
             } else if (std::strcmp(argv[i], "--watchdog-out") == 0 &&
                        needValue(argc, argv, i, v)) {
-                watchdog_file = v;
+                wopts.watchdogPath = v;
+            } else if (std::strcmp(argv[i], "--status-fd") == 0 &&
+                       needValue(argc, argv, i, v)) {
+                wopts.statusFd = std::atoi(v.c_str());
+            } else if (std::strcmp(argv[i], "--hb-cycles") == 0 &&
+                       needValue(argc, argv, i, v)) {
+                wopts.heartbeatCycles =
+                    static_cast<tenoc::Cycle>(std::atoll(v.c_str()));
+            } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+                       needValue(argc, argv, i, v)) {
+                wopts.checkpointEvery =
+                    static_cast<tenoc::Cycle>(std::atoll(v.c_str()));
+            } else if (std::strcmp(argv[i], "--checkpoint-file") == 0 &&
+                       needValue(argc, argv, i, v)) {
+                wopts.checkpointFile = v;
+            } else if (std::strcmp(argv[i], "--chaos-kill-at") == 0 &&
+                       needValue(argc, argv, i, v)) {
+                wopts.chaosKillAtCycle =
+                    static_cast<tenoc::Cycle>(std::atoll(v.c_str()));
+            } else if (std::strcmp(argv[i], "--chaos-stall-at") == 0 &&
+                       needValue(argc, argv, i, v)) {
+                wopts.chaosStallAtCycle =
+                    static_cast<tenoc::Cycle>(std::atoll(v.c_str()));
             } else {
                 return usage();
             }
         }
-        if (job_file.empty() || out_file.empty())
+        if (wopts.jobFile.empty() || wopts.outFile.empty())
             return usage();
-        return runWorkerJob(job_file, out_file, watchdog_file);
+        return runWorkerJob(wopts);
     }
 
     ServerOptions opts;
     opts.workerExe = selfExe(argv[0]);
+    std::string chaos_err;
+    if (!parseChaosSpec(std::getenv("TENOC_CHAOS"), opts.chaos,
+                        &chaos_err)) {
+        std::cerr << "tenoc_server: bad TENOC_CHAOS: " << chaos_err
+                  << "\n";
+        return 2;
+    }
+
     std::string spec, spool, sock;
     bool once = false;
     for (int i = 1; i < argc; ++i) {
@@ -125,6 +169,54 @@ main(int argc, char **argv)
             if (n < 0)
                 return usage();
             opts.defaultTimeoutSeconds = static_cast<unsigned>(n);
+        } else if (std::strcmp(argv[i], "--retries") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            const long n = std::atol(v.c_str());
+            if (n < 1)
+                return usage();
+            opts.retry.maxAttempts = static_cast<unsigned>(n);
+        } else if (std::strcmp(argv[i], "--backoff") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            opts.retry.backoffBaseSeconds = std::atof(v.c_str());
+            if (opts.retry.backoffBaseSeconds < 0.0)
+                return usage();
+        } else if (std::strcmp(argv[i], "--backoff-max") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            opts.retry.backoffMaxSeconds = std::atof(v.c_str());
+            if (opts.retry.backoffMaxSeconds < 0.0)
+                return usage();
+        } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            opts.checkpointEveryCycles =
+                static_cast<tenoc::Cycle>(std::atoll(v.c_str()));
+        } else if (std::strcmp(argv[i], "--heartbeat-timeout") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            const long n = std::atol(v.c_str());
+            if (n < 0)
+                return usage();
+            opts.heartbeatTimeoutSeconds = static_cast<unsigned>(n);
+        } else if (std::strcmp(argv[i], "--hb-cycles") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            const long long n = std::atoll(v.c_str());
+            if (n < 1)
+                return usage();
+            opts.heartbeatIntervalCycles =
+                static_cast<tenoc::Cycle>(n);
+        } else if (std::strcmp(argv[i], "--rlimit-as-mb") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            opts.rlimitAsMb =
+                static_cast<unsigned>(std::atol(v.c_str()));
+        } else if (std::strcmp(argv[i], "--rlimit-cpu") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            opts.rlimitCpuSeconds =
+                static_cast<unsigned>(std::atol(v.c_str()));
+        } else if (std::strcmp(argv[i], "--max-queue") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            opts.maxQueueDepth =
+                static_cast<std::size_t>(std::atol(v.c_str()));
+        } else if (std::strcmp(argv[i], "--journal") == 0 &&
+                   needValue(argc, argv, i, v)) {
+            opts.journalPath = v;
         } else {
             return usage();
         }

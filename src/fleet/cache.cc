@@ -1,19 +1,41 @@
 /**
  * @file
- * Content-addressed result cache (directory of <hash>.json files).
+ * Content-addressed result cache (directory of <hash>.json files with
+ * integrity trailers).
  */
 
 #include "fleet/cache.hh"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <fcntl.h>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unistd.h>
 
 #include "common/log.hh"
+#include "fleet/retry.hh" // fnv1a64
 
 namespace tenoc::fleet
 {
+
+namespace
+{
+
+constexpr const char *TRAILER_PREFIX = "#tenoc-cache-v1 ";
+
+std::string
+hashHex(const std::string &payload)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(payload)));
+    return buf;
+}
+
+} // namespace
 
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
 {
@@ -27,7 +49,7 @@ ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
 }
 
 std::string
-ResultCache::path(const std::string &hash) const
+ResultCache::entryPath(const std::string &hash) const
 {
     return dir_ + "/" + hash + ".json";
 }
@@ -37,12 +59,36 @@ ResultCache::lookup(const std::string &hash) const
 {
     if (dir_.empty())
         return std::nullopt;
-    std::ifstream is(path(hash));
+    const std::string p = entryPath(hash);
+    std::ifstream is(p);
     if (!is)
         return std::nullopt;
     std::stringstream ss;
     ss << is.rdbuf();
-    return ss.str();
+    std::string text = ss.str();
+
+    // Split off the trailer: the last non-empty line must be the
+    // integrity record and must match the payload above it.
+    const auto evict = [&](const char *why) {
+        warn("cache: evicting ", why, " entry '", p, "'");
+        std::remove(p.c_str());
+        ++evictions_;
+        return std::nullopt;
+    };
+    while (!text.empty() && text.back() == '\n')
+        text.pop_back();
+    const auto nl = text.rfind('\n');
+    if (nl == std::string::npos)
+        return evict("trailer-less");
+    const std::string trailer = text.substr(nl + 1);
+    if (trailer.rfind(TRAILER_PREFIX, 0) != 0)
+        return evict("trailer-less");
+    std::string payload = text.substr(0, nl + 1); // keep final '\n'
+    if (trailer.substr(std::strlen(TRAILER_PREFIX)) != hashHex(payload))
+        return evict("corrupt");
+    while (!payload.empty() && payload.back() == '\n')
+        payload.pop_back();
+    return payload;
 }
 
 void
@@ -51,24 +97,68 @@ ResultCache::store(const std::string &hash,
 {
     if (dir_.empty())
         return;
-    const std::string final_path = path(hash);
+    std::string payload = result_json;
+    if (payload.empty() || payload.back() != '\n')
+        payload += '\n';
+    const std::string body =
+        payload + TRAILER_PREFIX + hashHex(payload) + "\n";
+
+    const std::string final_path = entryPath(hash);
     const std::string tmp_path = final_path + ".tmp";
-    {
-        std::ofstream os(tmp_path);
-        if (!os) {
-            warn("cache: cannot write '", tmp_path, "'");
-            return;
-        }
-        os << result_json;
-        if (!result_json.empty() && result_json.back() != '\n')
-            os << "\n";
-        if (!os) {
-            warn("cache: short write to '", tmp_path, "'");
-            return;
-        }
+    int fd;
+    do {
+        fd = ::open(tmp_path.c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+        warn("cache: cannot write '", tmp_path,
+             "': ", std::strerror(errno));
+        return;
     }
-    if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0)
+    std::size_t off = 0;
+    while (off < body.size()) {
+        const ssize_t n =
+            ::write(fd, body.data() + off, body.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("cache: short write to '", tmp_path,
+                 "': ", std::strerror(errno));
+            ::close(fd);
+            std::remove(tmp_path.c_str());
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    // fsync before rename: the rename must never publish a name whose
+    // data is still in flight.
+    while (::fsync(fd) != 0 && errno == EINTR) {
+    }
+    ::close(fd);
+    if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
         warn("cache: cannot rename '", tmp_path, "' into place");
+        std::remove(tmp_path.c_str());
+    }
+}
+
+bool
+ResultCache::corruptEntry(const std::string &hash)
+{
+    if (dir_.empty())
+        return false;
+    const std::string p = entryPath(hash);
+    std::ifstream is(p);
+    if (!is)
+        return false;
+    std::stringstream ss;
+    ss << is.rdbuf();
+    std::string text = ss.str();
+    is.close();
+    // Chop the payload mid-line; the stale trailer (or its absence)
+    // must now fail verification.
+    std::ofstream os(p, std::ios::trunc);
+    os << text.substr(0, text.size() / 2);
+    return static_cast<bool>(os);
 }
 
 } // namespace tenoc::fleet

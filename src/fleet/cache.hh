@@ -1,6 +1,6 @@
 /**
  * @file
- * Content-addressed result cache.
+ * Content-addressed result cache with integrity checking.
  *
  * One directory, one `<hash>.json` file per result, keyed by
  * Config::canonicalHash() of the job's fully resolved configuration
@@ -8,11 +8,18 @@
  * Config::canonicalText()).  Failures are cached too: a config that
  * crashed yesterday will crash today, and serving the recorded failure
  * is what makes an immediate resubmit of a mixed sweep all-hits.
+ *
+ * Every entry carries an FNV-1a trailer (`#tenoc-cache-v1 <hex>`)
+ * over its payload; lookup() verifies it and **evicts** a corrupt,
+ * truncated, or trailer-less entry instead of serving it, so a torn
+ * write or bit-rot costs one recompute, never a silently wrong
+ * result.
  */
 
 #ifndef TENOC_FLEET_CACHE_HH
 #define TENOC_FLEET_CACHE_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -26,20 +33,39 @@ class ResultCache
      *  disables the cache: lookups miss, stores are dropped. */
     explicit ResultCache(std::string dir);
 
-    /** @return the cached result JSON for `hash`, if present. */
+    /**
+     * @return the cached result JSON for `hash`, if present and its
+     * integrity trailer verifies.  A corrupt/truncated entry is
+     * unlinked (and counted) so the caller recomputes the job.
+     */
     std::optional<std::string> lookup(const std::string &hash) const;
 
-    /** Stores `result_json` under `hash` (atomic tmp + rename, so a
-     *  crashed server never leaves a torn cache entry). */
+    /** Stores `result_json` under `hash` with an integrity trailer
+     *  (write + fsync + atomic rename, so a crashed server never
+     *  leaves a torn cache entry in place). */
     void store(const std::string &hash, const std::string &result_json);
+
+    /**
+     * Deliberately damages the stored entry for `hash` (truncates the
+     * payload mid-line, leaving the now-stale trailer).  Chaos mode
+     * and the recovery tests use this to prove corrupt entries are
+     * evicted and recomputed, never served.
+     * @return false if no entry exists.
+     */
+    bool corruptEntry(const std::string &hash);
+
+    /** Entries evicted by failed integrity checks so far. */
+    std::uint64_t evictions() const { return evictions_; }
 
     bool enabled() const { return !dir_.empty(); }
     const std::string &dir() const { return dir_; }
 
-  private:
-    std::string path(const std::string &hash) const;
+    /** Path of the entry file for `hash` (exists or not). */
+    std::string entryPath(const std::string &hash) const;
 
+  private:
     std::string dir_;
+    mutable std::uint64_t evictions_ = 0;
 };
 
 } // namespace tenoc::fleet

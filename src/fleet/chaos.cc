@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Chaos monkey implementation.
+ */
+
+#include "fleet/chaos.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "fleet/retry.hh"
+
+namespace tenoc::fleet
+{
+
+namespace
+{
+
+bool
+fail(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+    return false;
+}
+
+} // namespace
+
+bool
+parseChaosSpec(const char *text, ChaosSpec &out, std::string *error)
+{
+    out = ChaosSpec{};
+    if (!text || !*text)
+        return true;
+    std::stringstream ss(text);
+    std::string field;
+    while (std::getline(ss, field, ',')) {
+        if (field.empty())
+            continue;
+        const auto eq = field.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return fail(error, "chaos field '" + field +
+                        "' is not key=value");
+        const std::string key = field.substr(0, eq);
+        const std::string val = field.substr(eq + 1);
+        char *end = nullptr;
+        const double num = std::strtod(val.c_str(), &end);
+        if (!end || *end != '\0')
+            return fail(error, "chaos field '" + key +
+                        "' has a non-numeric value '" + val + "'");
+        if (key == "kill" || key == "stall" || key == "corrupt" ||
+            key == "drop") {
+            if (num < 0.0 || num > 1.0)
+                return fail(error, "chaos rate '" + key +
+                            "' must be in [0, 1]");
+            if (key == "kill")
+                out.killRate = num;
+            else if (key == "stall")
+                out.stallRate = num;
+            else if (key == "corrupt")
+                out.corruptRate = num;
+            else
+                out.dropRate = num;
+        } else if (key == "seed") {
+            out.seed = static_cast<std::uint64_t>(num);
+        } else if (key == "budget") {
+            if (num < 0.0)
+                return fail(error, "chaos budget must be >= 0");
+            out.faultBudgetPerJob = static_cast<unsigned>(num);
+        } else {
+            return fail(error, "unknown chaos key '" + key + "'");
+        }
+    }
+    return true;
+}
+
+bool
+ChaosMonkey::chargeBudget(const std::string &hash)
+{
+    unsigned &spent = spent_[hash];
+    if (spent >= spec_.faultBudgetPerJob)
+        return false;
+    ++spent;
+    return true;
+}
+
+ChaosMonkey::WorkerFault
+ChaosMonkey::workerFault(const std::string &hash, unsigned attempt,
+                         std::uint64_t *out_at_cycle)
+{
+    if (out_at_cycle)
+        *out_at_cycle = 0;
+    if (spec_.killRate <= 0.0 && spec_.stallRate <= 0.0)
+        return WorkerFault::NONE;
+    const auto it = spent_.find(hash);
+    if (it != spent_.end() && it->second >= spec_.faultBudgetPerJob)
+        return WorkerFault::NONE;
+
+    Rng rng(spec_.seed ^ fnv1a64(hash) ^
+            (0xda3e39cb94b95bdbULL * attempt));
+    const double u = rng.nextDouble();
+    WorkerFault fault = WorkerFault::NONE;
+    if (u < spec_.killRate)
+        fault = WorkerFault::KILL;
+    else if (u < spec_.killRate + spec_.stallRate)
+        fault = WorkerFault::STALL;
+    if (fault == WorkerFault::NONE || !chargeBudget(hash))
+        return WorkerFault::NONE;
+
+    // Fire somewhere mid-run: late enough that a periodic checkpoint
+    // can land first (so retries exercise resume), early enough that
+    // short CI workloads — a few hundred icnt cycles — still reach
+    // it.  The worker only checks at progress-callback firings, so
+    // the fault lands at the next heartbeat boundary past this cycle.
+    if (out_at_cycle)
+        *out_at_cycle = 50 + rng.nextRange(450);
+    if (fault == WorkerFault::KILL)
+        ++kills_;
+    else
+        ++stalls_;
+    return fault;
+}
+
+bool
+ChaosMonkey::corruptStore(const std::string &hash)
+{
+    if (spec_.corruptRate <= 0.0)
+        return false;
+    Rng rng(spec_.seed ^ fnv1a64(hash) ^ 0x5deece66dULL);
+    if (rng.nextDouble() >= spec_.corruptRate || !chargeBudget(hash))
+        return false;
+    ++corruptions_;
+    return true;
+}
+
+bool
+ChaosMonkey::dropConnection(std::uint64_t n) const
+{
+    if (spec_.dropRate <= 0.0)
+        return false;
+    Rng rng(spec_.seed ^ (0xa0761d6478bd642fULL * (n + 1)));
+    return rng.nextDouble() < spec_.dropRate;
+}
+
+} // namespace tenoc::fleet

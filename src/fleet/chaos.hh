@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Chaos engineering for the fleet (docs/fleet.md, "Chaos mode").
+ *
+ * `TENOC_CHAOS` arms a deterministic fault monkey inside the
+ * orchestrator: worker processes are randomly SIGKILL'd mid-run,
+ * stalled so their heartbeats stop (exercising hung-worker detection),
+ * freshly stored cache entries are corrupted (exercising integrity
+ * eviction), and listen-mode connections are dropped at accept
+ * (exercising client reconnect).  Every decision is drawn from
+ * (seed, job hash, attempt), so a chaos run is exactly reproducible,
+ * and each job's fault budget is capped so a sweep with retries
+ * provably converges: once a job has absorbed `budget` faults, its
+ * remaining attempts run clean.
+ *
+ * Spec syntax (comma-separated, all fields optional):
+ *   TENOC_CHAOS="kill=0.5,stall=0.25,corrupt=0.3,drop=0.2,seed=7,budget=2"
+ */
+
+#ifndef TENOC_FLEET_CHAOS_HH
+#define TENOC_FLEET_CHAOS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace tenoc::fleet
+{
+
+struct ChaosSpec
+{
+    double killRate = 0.0;    ///< P(SIGKILL a worker attempt)
+    double stallRate = 0.0;   ///< P(stall a worker's heartbeats)
+    double corruptRate = 0.0; ///< P(corrupt a stored cache entry)
+    double dropRate = 0.0;    ///< P(drop an accepted connection)
+    unsigned faultBudgetPerJob = 2; ///< max faults charged per job
+    std::uint64_t seed = 1;
+
+    bool
+    enabled() const
+    {
+        return killRate > 0.0 || stallRate > 0.0 ||
+               corruptRate > 0.0 || dropRate > 0.0;
+    }
+};
+
+/**
+ * Parses a TENOC_CHAOS-style spec string.  An empty/null string
+ * yields a disabled spec.  @return false + error on a malformed
+ * field, unknown key, or rate outside [0, 1].
+ */
+bool parseChaosSpec(const char *text, ChaosSpec &out,
+                    std::string *error);
+
+/** Stateful monkey: tracks per-job fault budgets. */
+class ChaosMonkey
+{
+  public:
+    explicit ChaosMonkey(const ChaosSpec &spec) : spec_(spec) {}
+
+    /** What to inflict on one worker attempt. */
+    enum class WorkerFault
+    {
+        NONE,
+        KILL, ///< worker SIGKILLs itself mid-run
+        STALL ///< worker stops heartbeating mid-run
+    };
+
+    /**
+     * Decides the fault for (hash, attempt) and charges the job's
+     * budget when one is chosen.  Deterministic in (seed, hash,
+     * attempt).  @param out_at_cycle icnt cycle the fault fires at.
+     */
+    WorkerFault workerFault(const std::string &hash, unsigned attempt,
+                            std::uint64_t *out_at_cycle);
+
+    /** Whether to corrupt the cache entry just stored for `hash`
+     *  (charges the budget when chosen). */
+    bool corruptStore(const std::string &hash);
+
+    /** Whether to drop the `n`-th accepted connection. */
+    bool dropConnection(std::uint64_t n) const;
+
+    bool enabled() const { return spec_.enabled(); }
+    const ChaosSpec &spec() const { return spec_; }
+
+    /** Faults inflicted so far, by kind (reporting). */
+    std::uint64_t killsInjected() const { return kills_; }
+    std::uint64_t stallsInjected() const { return stalls_; }
+    std::uint64_t corruptionsInjected() const { return corruptions_; }
+
+  private:
+    bool chargeBudget(const std::string &hash);
+
+    ChaosSpec spec_;
+    std::map<std::string, unsigned> spent_;
+    std::uint64_t kills_ = 0;
+    std::uint64_t stalls_ = 0;
+    std::uint64_t corruptions_ = 0;
+};
+
+} // namespace tenoc::fleet
+
+#endif // TENOC_FLEET_CHAOS_HH

@@ -100,6 +100,11 @@ jobFromJson(const JsonValue &v, JobSpec &out, std::string *error)
                             "'timeout_seconds' must be a number >= 0");
             out.timeoutSeconds =
                 static_cast<unsigned>(val.asNumber());
+        } else if (key == "checkpoint_every") {
+            if (!val.isNumber() || val.asNumber() < 0)
+                return fail(error,
+                            "'checkpoint_every' must be a number >= 0");
+            out.checkpointEveryCycles = static_cast<Cycle>(val.asNumber());
         } else if (key == "checkpoint_at") {
             if (!val.isNumber() || val.asNumber() < 0)
                 return fail(error,
@@ -149,6 +154,9 @@ jobToJson(const JobSpec &job)
     if (job.timeoutSeconds != 0)
         v.set("timeout_seconds",
               JsonValue(static_cast<double>(job.timeoutSeconds)));
+    if (job.checkpointEveryCycles != 0)
+        v.set("checkpoint_every",
+              JsonValue(static_cast<double>(job.checkpointEveryCycles)));
     if (job.checkpointAt != 0)
         v.set("checkpoint_at",
               JsonValue(static_cast<double>(job.checkpointAt)));

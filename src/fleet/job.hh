@@ -38,13 +38,21 @@ struct JobSpec
     Cycle checkpointAt = 0;
     std::string checkpointOut;
     std::string restoreFrom;
+
+    /**
+     * Auto-checkpoint cadence in icnt cycles (0 = server default).
+     * Like timeoutSeconds this is a *scheduling* knob — it feeds the
+     * retry-from-checkpoint machinery, is excluded from the resolved
+     * config, and therefore never perturbs content addressing.
+     */
+    Cycle checkpointEveryCycles = 0;
 };
 
 /**
  * Parses one job object.  Recognized members: name, config_file,
  * overrides (object of string/number/bool values), workload (required),
- * scale, max_icnt_cycles, timeout_seconds, checkpoint_at,
- * checkpoint_out, restore_from.
+ * scale, max_icnt_cycles, timeout_seconds, checkpoint_every,
+ * checkpoint_at, checkpoint_out, restore_from.
  * @return false + error on a malformed spec.
  */
 bool jobFromJson(const telemetry::JsonValue &v, JobSpec &out,

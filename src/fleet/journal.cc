@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Write-ahead journal implementation.
+ */
+
+#include "fleet/journal.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/log.hh"
+
+namespace tenoc::fleet
+{
+
+using telemetry::JsonValue;
+
+Journal::~Journal()
+{
+    close();
+}
+
+bool
+Journal::open(const std::string &path, std::string *error)
+{
+    close();
+    int fd;
+    do {
+        fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+        if (error)
+            *error = "cannot open journal '" + path +
+                     "': " + std::strerror(errno);
+        return false;
+    }
+    fd_ = fd;
+    path_ = path;
+    return true;
+}
+
+void
+Journal::append(const JsonValue &record)
+{
+    if (fd_ < 0)
+        return;
+    const std::string line = record.toString(0) + "\n";
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::write(fd_, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("journal: write to '", path_,
+                 "' failed: ", std::strerror(errno));
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    // The fsync is the whole point: a SIGKILL after append() returns
+    // must never lose this record.
+    while (::fsync(fd_) != 0) {
+        if (errno != EINTR) {
+            warn("journal: fsync '", path_,
+                 "' failed: ", std::strerror(errno));
+            return;
+        }
+    }
+}
+
+void
+Journal::batchOpened(const std::vector<std::string> &hashes)
+{
+    JsonValue rec = JsonValue::makeObject();
+    rec.set("event", JsonValue("batch"));
+    rec.set("schema", JsonValue("tenoc-journal-v1"));
+    JsonValue arr = JsonValue::makeArray();
+    for (const auto &h : hashes)
+        arr.push(JsonValue(h));
+    rec.set("jobs", std::move(arr));
+    append(rec);
+}
+
+void
+Journal::attemptStarted(const std::string &hash, unsigned attempt)
+{
+    JsonValue rec = JsonValue::makeObject();
+    rec.set("event", JsonValue("attempt"));
+    rec.set("hash", JsonValue(hash));
+    rec.set("attempt", JsonValue(static_cast<double>(attempt)));
+    append(rec);
+}
+
+void
+Journal::jobDone(const std::string &hash, const std::string &status,
+                 const std::string &result_json)
+{
+    JsonValue rec = JsonValue::makeObject();
+    rec.set("event", JsonValue("done"));
+    rec.set("hash", JsonValue(hash));
+    rec.set("status", JsonValue(status));
+    JsonValue result;
+    std::string err;
+    if (JsonValue::parse(result_json, result, &err)) {
+        rec.set("result", std::move(result));
+    } else {
+        // Never journal something replay would choke on.
+        warn("journal: result for ", hash, " is not valid JSON (",
+             err, "); recording the status only");
+    }
+    append(rec);
+}
+
+void
+Journal::batchClosed(std::size_t ok, std::size_t failed)
+{
+    JsonValue rec = JsonValue::makeObject();
+    rec.set("event", JsonValue("batch-done"));
+    rec.set("ok", JsonValue(static_cast<double>(ok)));
+    rec.set("failed", JsonValue(static_cast<double>(failed)));
+    append(rec);
+}
+
+void
+Journal::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    path_.clear();
+}
+
+bool
+replayJournal(const std::string &path, JournalState &out,
+              std::string *error)
+{
+    out = JournalState{};
+    std::ifstream is(path);
+    if (!is)
+        return true; // no journal: nothing recorded, nothing to do
+
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(is, line))
+        lines.push_back(line);
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (lines[i].empty())
+            continue;
+        JsonValue rec;
+        std::string jerr;
+        if (!JsonValue::parse(lines[i], rec, &jerr) ||
+            !rec.isObject()) {
+            if (i + 1 == lines.size()) {
+                // Torn final record: the expected crash signature.
+                out.truncated = true;
+                return true;
+            }
+            if (error)
+                *error = "journal '" + path + "' line " +
+                         std::to_string(i + 1) + " is garbled: " + jerr;
+            return false;
+        }
+        const JsonValue *ev = rec.find("event");
+        if (!ev || !ev->isString()) {
+            if (error)
+                *error = "journal '" + path + "' line " +
+                         std::to_string(i + 1) + " has no event";
+            return false;
+        }
+        ++out.records;
+        const std::string &event = ev->asString();
+        const JsonValue *hash = rec.find("hash");
+        const std::string h =
+            hash && hash->isString() ? hash->asString() : std::string{};
+        if (event == "batch") {
+            // A new batch record restarts the story (a journal reused
+            // across runs keeps only the last batch's membership).
+            out.batchHashes.clear();
+            out.batchDone = false;
+            if (const JsonValue *jobs = rec.find("jobs");
+                jobs && jobs->isArray()) {
+                for (const JsonValue &jv : jobs->asArray())
+                    if (jv.isString())
+                        out.batchHashes.push_back(jv.asString());
+            }
+        } else if (event == "attempt" && !h.empty()) {
+            const JsonValue *a = rec.find("attempt");
+            const unsigned n =
+                a && a->isNumber()
+                    ? static_cast<unsigned>(a->asNumber()) : 1;
+            auto it = out.attempts.find(h);
+            if (it == out.attempts.end() || it->second < n)
+                out.attempts[h] = n;
+        } else if (event == "done" && !h.empty()) {
+            const JsonValue *status = rec.find("status");
+            out.doneStatus[h] = status && status->isString()
+                                    ? status->asString()
+                                    : std::string{"unknown"};
+            if (const JsonValue *result = rec.find("result"))
+                out.doneResults[h] = result->toString(0);
+            else
+                out.doneResults[h] = std::string{};
+        } else if (event == "batch-done") {
+            out.batchDone = true;
+        }
+        // Unknown events are skipped: forward compatibility.
+    }
+    return true;
+}
+
+} // namespace tenoc::fleet

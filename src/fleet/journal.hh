@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Crash-safe write-ahead job journal (`tenoc-journal-v1`).
+ *
+ * The orchestrator appends one JSON line per job-state transition —
+ * batch opened, attempt dispatched, job done (with the full result
+ * document) — and fsyncs after every record.  A server that is
+ * SIGKILL'd mid-sweep therefore leaves a journal from which a restart
+ * can reconstruct exactly which jobs finished (their recorded results
+ * are served without recompute, independent of the result cache) and
+ * which must be re-enqueued.  Replay tolerates a torn final line: the
+ * crash window between write and fsync costs at most the record being
+ * written, never the records before it.
+ *
+ * Record shapes (one JSON object per line):
+ *   {"event":"batch","schema":"tenoc-journal-v1","jobs":[h...]}
+ *   {"event":"attempt","hash":h,"attempt":n}
+ *   {"event":"done","hash":h,"status":s,"result":{...}}
+ *   {"event":"batch-done","ok":n,"failed":m}
+ */
+
+#ifndef TENOC_FLEET_JOURNAL_HH
+#define TENOC_FLEET_JOURNAL_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hh"
+
+namespace tenoc::fleet
+{
+
+/** Append-only, fsync'd record log. */
+class Journal
+{
+  public:
+    Journal() = default;
+    ~Journal();
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /** Opens `path` for appending (creating it if absent).
+     *  @return false + error if the file cannot be opened. */
+    bool open(const std::string &path, std::string *error);
+
+    /** Appends one record line and fsyncs.  Serialization failures
+     *  warn (the journal is a recovery aid; losing a record must not
+     *  kill the sweep). */
+    void append(const telemetry::JsonValue &record);
+
+    // Typed appenders for the tenoc-journal-v1 record shapes.
+    void batchOpened(const std::vector<std::string> &hashes);
+    void attemptStarted(const std::string &hash, unsigned attempt);
+    void jobDone(const std::string &hash, const std::string &status,
+                 const std::string &result_json);
+    void batchClosed(std::size_t ok, std::size_t failed);
+
+    void close();
+    bool isOpen() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+/** What a replayed journal says about an interrupted sweep. */
+struct JournalState
+{
+    /** hash -> final result document (one line) of completed jobs. */
+    std::map<std::string, std::string> doneResults;
+    /** hash -> status string of completed jobs. */
+    std::map<std::string, std::string> doneStatus;
+    /** hash -> highest attempt number dispatched. */
+    std::map<std::string, unsigned> attempts;
+    /** Hashes named by the last batch record, in order. */
+    std::vector<std::string> batchHashes;
+    /** The batch ran to completion (batch-done record present). */
+    bool batchDone = false;
+    /** Records successfully parsed. */
+    std::size_t records = 0;
+    /** A torn/garbled trailing line was discarded. */
+    bool truncated = false;
+
+    /** Completed with a recoverable result document. */
+    bool
+    isDone(const std::string &hash) const
+    {
+        const auto it = doneResults.find(hash);
+        return it != doneResults.end() && !it->second.empty();
+    }
+};
+
+/**
+ * Replays the journal at `path` into `out`.  A missing file yields an
+ * empty state and returns true (nothing to recover).  A torn final
+ * line is expected after a crash and sets `out.truncated`; a garbled
+ * line anywhere else fails with an error.
+ */
+bool replayJournal(const std::string &path, JournalState &out,
+                   std::string *error);
+
+} // namespace tenoc::fleet
+
+#endif // TENOC_FLEET_JOURNAL_HH

@@ -1,15 +1,16 @@
 /**
  * @file
- * Fork/exec process pool.
+ * Fork/exec process pool with supervision.
  */
 
 #include "fleet/pool.hh"
 
 #include <cerrno>
-#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <fcntl.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -30,8 +31,22 @@ monotonicSeconds()
            static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
+/** waitpid with EINTR retry. */
 pid_t
-spawn(const std::vector<std::string> &argv)
+waitRetry(pid_t pid, int *status, int flags)
+{
+    pid_t w;
+    do {
+        w = waitpid(pid, status, flags);
+    } while (w < 0 && errno == EINTR);
+    return w;
+}
+
+/** Spawns argv with the status pipe's write end on STATUS_FD.
+ *  @return child pid; the read end (nonblocking) in *status_fd. */
+pid_t
+spawn(const std::vector<std::string> &argv, const SpawnOptions &opts,
+      int *status_fd)
 {
     std::vector<char *> cargv;
     cargv.reserve(argv.size() + 1);
@@ -39,15 +54,42 @@ spawn(const std::vector<std::string> &argv)
         cargv.push_back(const_cast<char *>(a.c_str()));
     cargv.push_back(nullptr);
 
+    int fds[2];
+    if (pipe(fds) != 0)
+        tenoc_fatal("pipe failed: ", std::strerror(errno));
+
     const pid_t pid = fork();
     if (pid < 0)
         tenoc_fatal("fork failed: ", std::strerror(errno));
     if (pid == 0) {
+        close(fds[0]);
+        if (fds[1] != ProcessPool::STATUS_FD) {
+            dup2(fds[1], ProcessPool::STATUS_FD);
+            close(fds[1]);
+        }
+        // A supervisor that stopped reading must never SIGPIPE-kill
+        // the worker mid-simulation.
+        signal(SIGPIPE, SIG_IGN);
+        if (opts.rlimitAsMb != 0) {
+            rlimit rl{};
+            rl.rlim_cur = rl.rlim_max =
+                static_cast<rlim_t>(opts.rlimitAsMb) * 1024 * 1024;
+            setrlimit(RLIMIT_AS, &rl);
+        }
+        if (opts.rlimitCpuSeconds != 0) {
+            rlimit rl{};
+            rl.rlim_cur = rl.rlim_max = opts.rlimitCpuSeconds;
+            setrlimit(RLIMIT_CPU, &rl);
+        }
         execv(cargv[0], cargv.data());
         // Exec failure in the child: the only safe report is an exit
         // code the parent can distinguish from a simulator failure.
         _exit(127);
     }
+    close(fds[1]);
+    const int fl = fcntl(fds[0], F_GETFL);
+    fcntl(fds[0], F_SETFL, fl | O_NONBLOCK);
+    *status_fd = fds[0];
     return pid;
 }
 
@@ -56,43 +98,151 @@ spawn(const std::vector<std::string> &argv)
 ProcessPool::ProcessPool(unsigned workers)
     : workers_(workers > 0 ? workers : 1)
 {
+    // Pool lifetimes span worker deaths; a closed status pipe must be
+    // an EPIPE errno, not a process-killing signal.
+    signal(SIGPIPE, SIG_IGN);
+}
+
+ProcessPool::~ProcessPool()
+{
+    reapAllRunning();
 }
 
 void
-ProcessPool::submit(std::size_t job_index, std::vector<std::string> argv,
-                    unsigned timeout_seconds)
+ProcessPool::submit(std::size_t job_index,
+                    std::vector<std::string> argv,
+                    const SpawnOptions &opts)
 {
     tenoc_assert(!argv.empty(), "ProcessPool::submit needs an argv");
-    queue_.push_back({job_index, std::move(argv), timeout_seconds});
+    queue_.push_back({job_index, std::move(argv), opts,
+                      monotonicSeconds() + opts.startDelaySeconds});
+}
+
+bool
+ProcessPool::drainStatus(Running &r, const FrameFn &frames)
+{
+    if (r.statusFd < 0)
+        return false;
+    bool activity = false;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = read(r.statusFd, chunk, sizeof(chunk));
+        if (n > 0) {
+            activity = true;
+            r.buf.append(chunk, static_cast<std::size_t>(n));
+            std::size_t nl;
+            while ((nl = r.buf.find('\n')) != std::string::npos) {
+                std::string line = r.buf.substr(0, nl);
+                r.buf.erase(0, nl + 1);
+                if (frames && !line.empty())
+                    frames(r.index, line);
+            }
+            continue;
+        }
+        if (n == 0) { // EOF: child closed its end
+            close(r.statusFd);
+            r.statusFd = -1;
+            break;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        close(r.statusFd);
+        r.statusFd = -1;
+        break;
+    }
+    if (activity)
+        r.lastFrameAt = monotonicSeconds();
+    return activity;
 }
 
 void
-ProcessPool::runAll(const DoneFn &done)
+ProcessPool::killAndReap(Running &r, ProcessResult &res)
 {
-    std::vector<Running> running;
-    std::size_t next = 0;
+    kill(r.pid, SIGKILL);
+    // SIGKILL cannot be caught; the blocking reap is prompt.
+    int status = 0;
+    waitRetry(r.pid, &status, 0);
+    if (WIFEXITED(status))
+        res.exitCode = WEXITSTATUS(status);
+}
 
-    while (next < queue_.size() || !running.empty()) {
-        // Fill free worker slots.
-        while (running.size() < workers_ && next < queue_.size()) {
-            const Pending &p = queue_[next];
-            running.push_back({p.index, spawn(p.argv), p.timeoutSeconds,
-                               monotonicSeconds()});
-            ++next;
+void
+ProcessPool::reapAllRunning()
+{
+    for (auto &r : running_) {
+        kill(r.pid, SIGKILL);
+        int status = 0;
+        waitRetry(r.pid, &status, 0);
+        if (r.statusFd >= 0)
+            close(r.statusFd);
+    }
+    running_.clear();
+}
+
+void
+ProcessPool::runAll(const DoneFn &done, const FrameFn &frames)
+{
+    while (!queue_.empty() || !running_.empty()) {
+        if (stopRequested()) {
+            // Shutdown: no orphaned children, no zombies.
+            reapAllRunning();
+            queue_.clear();
+            break;
         }
 
-        // Reap whoever finished; kill whoever overstayed.
+        // Fill free worker slots with whatever backoff has released.
+        const double now = monotonicSeconds();
+        for (std::size_t q = 0;
+             running_.size() < workers_ && q < queue_.size();) {
+            if (queue_[q].readyAt > now) {
+                ++q;
+                continue;
+            }
+            Pending p = std::move(queue_[q]);
+            queue_.erase(queue_.begin() +
+                         static_cast<std::ptrdiff_t>(q));
+            int status_fd = -1;
+            const pid_t pid = spawn(p.argv, p.opts, &status_fd);
+            const double t = monotonicSeconds();
+            running_.push_back(
+                {p.index, pid, p.opts, t, t, status_fd, {}});
+        }
+
+        // Reap whoever finished; kill whoever overstayed or went
+        // silent.
         bool progressed = false;
-        for (std::size_t i = 0; i < running.size();) {
-            Running &r = running[i];
+        for (std::size_t i = 0; i < running_.size();) {
+            Running &r = running_[i];
+            if (drainStatus(r, frames))
+                progressed = true;
+
+            const auto finish = [&](ProcessResult res) {
+                // The child is gone: collect its last words before
+                // closing the pipe.
+                if (r.statusFd >= 0) {
+                    drainStatus(r, frames);
+                    if (r.statusFd >= 0)
+                        close(r.statusFd);
+                    r.statusFd = -1;
+                }
+                const std::size_t index = r.index;
+                running_.erase(running_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                // `done` may submit() retries; `r` is dead past here.
+                done(index, res);
+                progressed = true;
+            };
+
             int status = 0;
-            const pid_t w = waitpid(r.pid, &status, WNOHANG);
+            const pid_t w = waitRetry(r.pid, &status, WNOHANG);
             if (w == r.pid) {
                 ProcessResult res;
                 res.timedOut =
-                    r.timeoutSeconds != 0 &&
+                    r.opts.timeoutSeconds != 0 &&
                     monotonicSeconds() - r.startedAt >=
-                        static_cast<double>(r.timeoutSeconds);
+                        static_cast<double>(r.opts.timeoutSeconds);
                 if (WIFEXITED(status)) {
                     res.exitCode = WEXITSTATUS(status);
                 } else if (WIFSIGNALED(status)) {
@@ -101,37 +251,39 @@ ProcessPool::runAll(const DoneFn &done)
                 // A SIGKILL we sent is a timeout, not a crash.
                 if (res.termSignal == SIGKILL && res.timedOut)
                     res.termSignal = 0;
-                done(r.index, res);
-                running.erase(running.begin() +
-                              static_cast<std::ptrdiff_t>(i));
-                progressed = true;
+                finish(res);
                 continue;
             }
-            if (w < 0 && errno != EINTR)
+            if (w < 0 && errno != ECHILD)
                 tenoc_fatal("waitpid failed: ", std::strerror(errno));
-            if (r.timeoutSeconds != 0 &&
-                monotonicSeconds() - r.startedAt >=
-                    static_cast<double>(r.timeoutSeconds)) {
-                kill(r.pid, SIGKILL);
-                // SIGKILL cannot be caught; the blocking reap is
-                // prompt.
-                int kstatus = 0;
-                waitpid(r.pid, &kstatus, 0);
+
+            const double t = monotonicSeconds();
+            if (r.opts.timeoutSeconds != 0 &&
+                t - r.startedAt >=
+                    static_cast<double>(r.opts.timeoutSeconds)) {
                 ProcessResult res;
                 res.timedOut = true;
-                if (WIFEXITED(kstatus))
-                    res.exitCode = WEXITSTATUS(kstatus);
-                done(r.index, res);
-                running.erase(running.begin() +
-                              static_cast<std::ptrdiff_t>(i));
-                progressed = true;
+                killAndReap(r, res);
+                finish(res);
+                continue;
+            }
+            if (r.opts.heartbeatTimeoutSeconds != 0 &&
+                t - r.lastFrameAt >=
+                    static_cast<double>(
+                        r.opts.heartbeatTimeoutSeconds)) {
+                // Silent worker: indistinguishable from progress only
+                // to itself.  Kill it and let the server retry.
+                ProcessResult res;
+                res.hung = true;
+                killAndReap(r, res);
+                finish(res);
                 continue;
             }
             ++i;
         }
         if (!progressed) {
-            timespec nap{0, 50'000'000}; // 50 ms poll
-            nanosleep(&nap, nullptr);
+            timespec nap{0, 20'000'000}; // 20 ms supervision poll
+            nanosleep(&nap, nullptr);    // EINTR: loop re-checks stop
         }
     }
     queue_.clear();

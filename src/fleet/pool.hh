@@ -1,6 +1,7 @@
 /**
  * @file
- * Fork/exec process pool with per-job wall-clock timeouts.
+ * Fork/exec process pool with per-job timeouts, heartbeat
+ * supervision, and resource limits.
  *
  * Each submitted command runs in its own child process; a child that
  * crashes (signal), calls tenoc_fatal (exit 1), or exceeds its timeout
@@ -8,11 +9,24 @@
  * siblings.  This is the isolation layer that lets tenoc_server sweep
  * hostile configs: the deadlock watchdog aborting one config's
  * simulation is just another nonzero exit here.
+ *
+ * On top of isolation, the pool supervises: every child gets a status
+ * pipe on fd STATUS_FD over which workers stream newline-delimited
+ * heartbeat/telemetry frames.  A child that stops framing for longer
+ * than its heartbeat timeout is declared *hung* — distinct from a
+ * simulator deadlock, which the in-process watchdog converts into a
+ * diagnosed exit — SIGKILL'd, and reported with `hung = true` so the
+ * server can retry it.  Children can also be dispatched with a start
+ * delay (retry backoff) and per-process rlimits (address space, CPU),
+ * and jobs may be re-submitted from inside the completion callback,
+ * which is how the server's retry loop re-dispatches failures without
+ * tearing the pool down.
  */
 
 #ifndef TENOC_FLEET_POOL_HH
 #define TENOC_FLEET_POOL_HH
 
+#include <csignal>
 #include <functional>
 #include <string>
 #include <sys/types.h>
@@ -26,34 +40,83 @@ struct ProcessResult
 {
     int exitCode = -1;   ///< exit status (if exited normally)
     int termSignal = 0;  ///< terminating signal (0 = exited normally)
-    bool timedOut = false; ///< killed by the pool's timeout
+    bool timedOut = false; ///< killed by the pool's wall-clock timeout
+    bool hung = false;   ///< killed for missing its heartbeat deadline
 
-    bool ok() const { return !timedOut && termSignal == 0 && exitCode == 0; }
+    bool
+    ok() const
+    {
+        return !timedOut && !hung && termSignal == 0 && exitCode == 0;
+    }
+};
+
+/** Per-job scheduling and supervision knobs. */
+struct SpawnOptions
+{
+    unsigned timeoutSeconds = 0;   ///< wall clock to SIGKILL (0 = off)
+    unsigned heartbeatTimeoutSeconds = 0; ///< frame silence to SIGKILL
+    double startDelaySeconds = 0.0; ///< retry backoff before spawning
+    unsigned rlimitAsMb = 0;       ///< RLIMIT_AS in MiB (0 = off)
+    unsigned rlimitCpuSeconds = 0; ///< RLIMIT_CPU (0 = off)
 };
 
 class ProcessPool
 {
   public:
+    /** Child-side fd the status pipe is dup'd onto. */
+    static constexpr int STATUS_FD = 3;
+
     using DoneFn = std::function<void(std::size_t job_index,
                                       const ProcessResult &)>;
+    /** One newline-delimited frame from a child's status pipe. */
+    using FrameFn = std::function<void(std::size_t job_index,
+                                       const std::string &frame)>;
 
     /** @param workers maximum concurrent children (min 1). */
     explicit ProcessPool(unsigned workers);
 
+    /** Kills and reaps anything still running (no zombies left for
+     *  init to inherit blame for). */
+    ~ProcessPool();
+
+    ProcessPool(const ProcessPool &) = delete;
+    ProcessPool &operator=(const ProcessPool &) = delete;
+
     /**
      * Queues `argv` (argv[0] = executable path) as job `job_index`.
-     * `timeout_seconds` of wall clock (0 = unlimited) before the child
-     * is SIGKILLed.
+     * Legal from inside the runAll() completion callback: the job is
+     * picked up by the running loop (after `opts.startDelaySeconds`).
      */
     void submit(std::size_t job_index, std::vector<std::string> argv,
-                unsigned timeout_seconds);
+                const SpawnOptions &opts);
+
+    /** Back-compat convenience: timeout only. */
+    void
+    submit(std::size_t job_index, std::vector<std::string> argv,
+           unsigned timeout_seconds)
+    {
+        SpawnOptions o;
+        o.timeoutSeconds = timeout_seconds;
+        submit(job_index, std::move(argv), o);
+    }
 
     /**
      * Runs every queued job across the worker slots and invokes
-     * `done` (on this thread) as each child is reaped.  Returns when
-     * all jobs have finished.
+     * `done` (on this thread) as each child is reaped and `frames`
+     * (if given) for each status-pipe line as it arrives.  Returns
+     * when all jobs — including any re-submitted from `done` — have
+     * finished, or promptly after the stop flag trips (remaining
+     * children are SIGKILL'd and reaped, pending jobs dropped).
      */
-    void runAll(const DoneFn &done);
+    void runAll(const DoneFn &done, const FrameFn &frames = {});
+
+    /** Points the pool at an external stop flag (e.g. a SIGINT
+     *  handler's sig_atomic_t); null disables. */
+    void
+    setStopFlag(const volatile std::sig_atomic_t *flag)
+    {
+        stop_flag_ = flag;
+    }
 
     unsigned workers() const { return workers_; }
 
@@ -62,19 +125,36 @@ class ProcessPool
     {
         std::size_t index;
         std::vector<std::string> argv;
-        unsigned timeoutSeconds;
+        SpawnOptions opts;
+        double readyAt; ///< monotonic seconds
     };
 
     struct Running
     {
         std::size_t index;
         pid_t pid;
-        unsigned timeoutSeconds;
-        double startedAt; ///< monotonic seconds
+        SpawnOptions opts;
+        double startedAt;   ///< monotonic seconds
+        double lastFrameAt; ///< last status-pipe activity
+        int statusFd;       ///< read end of the status pipe
+        std::string buf;    ///< partial frame carry-over
     };
+
+    /** Reads everything available from r's status pipe; @return true
+     *  on activity. */
+    bool drainStatus(Running &r, const FrameFn &frames);
+    /** SIGKILL + blocking reap of `r`; fills exit info into `res`. */
+    void killAndReap(Running &r, ProcessResult &res);
+    void reapAllRunning();
+    bool stopRequested() const
+    {
+        return stop_flag_ && *stop_flag_;
+    }
 
     unsigned workers_;
     std::vector<Pending> queue_;
+    std::vector<Running> running_;
+    const volatile std::sig_atomic_t *stop_flag_ = nullptr;
 };
 
 } // namespace tenoc::fleet

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fleet retry policy: exponential backoff with seeded jitter.
+ *
+ * A job whose worker crashed, hung, or timed out is re-dispatched up
+ * to `maxAttempts` times.  The delay before attempt N doubles each
+ * round and is scaled by a jitter factor drawn deterministically from
+ * (seed, job hash, attempt), so (a) a sweep full of simultaneous
+ * failures does not re-dispatch as a thundering herd and (b) the exact
+ * schedule of any run can be reproduced from its seed.  Whether a
+ * retry restarts cold or resumes from the job's last periodic
+ * checkpoint is the server's business (docs/fleet.md); this header is
+ * only the arithmetic.
+ */
+
+#ifndef TENOC_FLEET_RETRY_HH
+#define TENOC_FLEET_RETRY_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+
+namespace tenoc::fleet
+{
+
+/** FNV-1a 64-bit hash (stable job-hash -> jitter-stream mixing). */
+inline std::uint64_t
+fnv1a64(const void *data, std::size_t len,
+        std::uint64_t h = 0xcbf29ce484222325ULL)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+inline std::uint64_t
+fnv1a64(const std::string &s)
+{
+    return fnv1a64(s.data(), s.size());
+}
+
+struct RetryPolicy
+{
+    /** Total attempts per job, including the first (1 = no retry). */
+    unsigned maxAttempts = 1;
+    /** Delay before the first retry (attempt 2), in seconds. */
+    double backoffBaseSeconds = 0.5;
+    /** Ceiling on the exponential delay, in seconds. */
+    double backoffMaxSeconds = 30.0;
+    /** Seed for the jitter stream. */
+    std::uint64_t jitterSeed = 0x7e0cf1ee7ULL;
+
+    /** @return true when attempt `attempt` (1-based) failing leaves
+     *  retry budget. */
+    bool
+    shouldRetry(unsigned attempt) const
+    {
+        return attempt < maxAttempts;
+    }
+
+    /**
+     * Delay in seconds before dispatching attempt `attempt` (2-based:
+     * the first attempt never waits).  Exponential in the attempt
+     * number, capped, then scaled into [0.5, 1.0) by jitter drawn from
+     * (jitterSeed, hash, attempt).
+     */
+    double
+    delayForAttempt(const std::string &hash, unsigned attempt) const
+    {
+        if (attempt <= 1)
+            return 0.0;
+        double d = backoffBaseSeconds;
+        for (unsigned i = 2; i < attempt && d < backoffMaxSeconds; ++i)
+            d *= 2.0;
+        d = std::min(d, backoffMaxSeconds);
+        Rng rng(jitterSeed ^ fnv1a64(hash) ^
+                (0x9e3779b97f4a7c15ULL * attempt));
+        return d * (0.5 + 0.5 * rng.nextDouble());
+    }
+};
+
+} // namespace tenoc::fleet
+
+#endif // TENOC_FLEET_RETRY_HH

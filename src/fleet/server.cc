@@ -1,6 +1,6 @@
 /**
  * @file
- * Sweep orchestrator implementation.
+ * Self-healing sweep orchestrator implementation.
  */
 
 #include "fleet/server.hh"
@@ -19,7 +19,6 @@
 #include <unistd.h>
 
 #include "common/log.hh"
-#include "fleet/pool.hh"
 #include "telemetry/json.hh"
 
 namespace tenoc::fleet
@@ -80,10 +79,24 @@ resultStatus(const std::string &json)
     return s && s->isString() ? s->asString() : std::string{};
 }
 
+/** Sets one member of a one-line result document in place (a no-op on
+ *  unparseable input — annotation never turns a result into garbage). */
+void
+annotate(std::string &json, const char *key, JsonValue value)
+{
+    JsonValue doc;
+    std::string err;
+    if (JsonValue::parse(json, doc, &err) && doc.isObject()) {
+        doc.set(key, std::move(value));
+        json = doc.toString(0);
+    }
+}
+
 } // namespace
 
 FleetServer::FleetServer(ServerOptions opts)
-    : opts_(std::move(opts)), cache_(opts_.cacheDir)
+    : opts_(std::move(opts)), cache_(opts_.cacheDir),
+      chaos_(opts_.chaos)
 {
     std::error_code ec;
     fs::create_directories(opts_.resultsDir, ec);
@@ -92,25 +105,120 @@ FleetServer::FleetServer(ServerOptions opts)
                     opts_.resultsDir, "': ", ec.message());
     tenoc_assert(!opts_.workerExe.empty(),
                  "FleetServer needs a worker executable path");
+    if (chaos_.enabled())
+        inform("fleet: chaos armed (kill=", opts_.chaos.killRate,
+               " stall=", opts_.chaos.stallRate,
+               " corrupt=", opts_.chaos.corruptRate,
+               " drop=", opts_.chaos.dropRate,
+               " seed=", opts_.chaos.seed,
+               " budget=", opts_.chaos.faultBudgetPerJob, ")");
 }
 
 std::vector<JobOutcome>
 FleetServer::runJobs(const std::vector<JobSpec> &jobs)
 {
+    return runJobs(jobs, RunHooks{});
+}
+
+std::vector<JobOutcome>
+FleetServer::runJobs(const std::vector<JobSpec> &jobs,
+                     const RunHooks &hooks)
+{
     std::vector<JobOutcome> outcomes(jobs.size());
     ProcessPool pool(opts_.workers);
+    pool.setStopFlag(&g_stop);
 
-    struct Scratch
+    struct Slot
     {
+        std::string jobFile;
         std::string outFile;
         std::string watchdogFile;
+        std::string ckptFile;
+        Cycle ckptEvery = 0;
+        unsigned timeout = 0;
+        unsigned attempt = 0;
     };
-    std::vector<Scratch> scratch(jobs.size());
+    std::vector<Slot> slots(jobs.size());
+
+    std::vector<std::string> hashes(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        hashes[i] = jobHash(jobs[i]);
+        outcomes[i].hash = hashes[i];
+    }
+    if (hooks.journal)
+        hooks.journal->batchOpened(hashes);
+
+    auto recordDone = [&](const JobOutcome &o) {
+        if (hooks.journal)
+            hooks.journal->jobDone(o.hash, resultStatus(o.json),
+                                   o.json);
+    };
+
+    // Re-dispatches (or first-dispatches) one job attempt.  Callable
+    // from the pool's done callback: that is the retry loop.
+    auto dispatch = [&](std::size_t i, unsigned attempt,
+                        double delay) {
+        Slot &s = slots[i];
+        s.attempt = attempt;
+        if (hooks.journal)
+            hooks.journal->attemptStarted(hashes[i], attempt);
+
+        std::vector<std::string> argv = {
+            opts_.workerExe, "--worker", "--job", s.jobFile,
+            "--out", s.outFile, "--watchdog-out", s.watchdogFile,
+            "--status-fd", std::to_string(ProcessPool::STATUS_FD),
+            "--hb-cycles",
+            std::to_string(opts_.heartbeatIntervalCycles)};
+        if (s.ckptEvery != 0) {
+            argv.insert(argv.end(),
+                        {"--checkpoint-every",
+                         std::to_string(s.ckptEvery),
+                         "--checkpoint-file", s.ckptFile});
+        }
+        std::uint64_t at = 0;
+        switch (chaos_.workerFault(hashes[i], attempt, &at)) {
+          case ChaosMonkey::WorkerFault::KILL:
+            warn("chaos: killing ", hashes[i], " attempt ", attempt,
+                 " at cycle ", at);
+            argv.insert(argv.end(),
+                        {"--chaos-kill-at", std::to_string(at)});
+            break;
+          case ChaosMonkey::WorkerFault::STALL:
+            warn("chaos: stalling ", hashes[i], " attempt ", attempt,
+                 " at cycle ", at);
+            argv.insert(argv.end(),
+                        {"--chaos-stall-at", std::to_string(at)});
+            break;
+          case ChaosMonkey::WorkerFault::NONE:
+            break;
+        }
+
+        SpawnOptions so;
+        so.timeoutSeconds = s.timeout;
+        so.heartbeatTimeoutSeconds = opts_.heartbeatTimeoutSeconds;
+        so.startDelaySeconds = delay;
+        so.rlimitAsMb = opts_.rlimitAsMb;
+        so.rlimitCpuSeconds = opts_.rlimitCpuSeconds;
+        pool.submit(i, std::move(argv), so);
+    };
 
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const JobSpec &job = jobs[i];
-        const std::string hash = jobHash(job);
-        outcomes[i].hash = hash;
+        const std::string &hash = hashes[i];
+
+        // Journal replay first: a restarted server serves jobs the
+        // previous incarnation finished straight from the journal,
+        // even with caching disabled.
+        if (hooks.replay && hooks.replay->isDone(hash)) {
+            outcomes[i].json = hooks.replay->doneResults.at(hash);
+            outcomes[i].replayed = true;
+            outcomes[i].ok = resultStatus(outcomes[i].json) == "ok";
+            const auto ait = hooks.replay->attempts.find(hash);
+            if (ait != hooks.replay->attempts.end())
+                outcomes[i].attempts = ait->second;
+            annotate(outcomes[i].json, "replayed", JsonValue(true));
+            continue;
+        }
 
         if (auto hit = cache_.lookup(hash)) {
             outcomes[i].json = oneLine(*hit);
@@ -118,13 +226,8 @@ FleetServer::runJobs(const std::vector<JobSpec> &jobs)
             outcomes[i].ok = resultStatus(outcomes[i].json) == "ok";
             // Annotate the emitted copy only; the stored entry stays
             // annotation-free so hits and fresh runs hash alike.
-            JsonValue doc;
-            std::string err;
-            if (JsonValue::parse(outcomes[i].json, doc, &err) &&
-                doc.isObject()) {
-                doc.set("cached", JsonValue(true));
-                outcomes[i].json = doc.toString(0);
-            }
+            annotate(outcomes[i].json, "cached", JsonValue(true));
+            recordDone(outcomes[i]);
             continue;
         }
 
@@ -132,31 +235,74 @@ FleetServer::runJobs(const std::vector<JobSpec> &jobs)
                                  std::to_string(batch_seq_) + "-" +
                                  std::to_string(i);
         ++batch_seq_;
-        const std::string job_file = base + ".job.json";
-        scratch[i] = {base + ".result.json", base + ".watchdog.json"};
+        Slot &s = slots[i];
+        s.jobFile = base + ".job.json";
+        s.outFile = base + ".result.json";
+        s.watchdogFile = base + ".watchdog.json";
+        s.ckptFile = base + ".ckpt";
+        s.ckptEvery = job.checkpointEveryCycles != 0
+                          ? job.checkpointEveryCycles
+                          : opts_.checkpointEveryCycles;
+        s.timeout = job.timeoutSeconds != 0
+                        ? job.timeoutSeconds
+                        : opts_.defaultTimeoutSeconds;
         {
-            std::ofstream os(job_file);
+            std::ofstream os(s.jobFile);
             if (!os)
-                tenoc_fatal("cannot write job file '", job_file, "'");
+                tenoc_fatal("cannot write job file '", s.jobFile,
+                            "'");
             jobToJson(job).write(os, 0);
             os << "\n";
         }
-
-        const unsigned timeout = job.timeoutSeconds != 0
-                                     ? job.timeoutSeconds
-                                     : opts_.defaultTimeoutSeconds;
-        pool.submit(i,
-                    {opts_.workerExe, "--worker", "--job", job_file,
-                     "--out", scratch[i].outFile, "--watchdog-out",
-                     scratch[i].watchdogFile},
-                    timeout);
+        dispatch(i, 1, 0.0);
     }
 
-    pool.runAll([&](std::size_t i, const ProcessResult &pres) {
-        outcomes[i] = harvest(jobs[i], outcomes[i].hash, pres,
-                              scratch[i].outFile,
-                              scratch[i].watchdogFile);
-    });
+    pool.runAll(
+        [&](std::size_t i, const ProcessResult &pres) {
+            Slot &s = slots[i];
+            const std::string &hash = hashes[i];
+
+            // Retry crashed/hung/timed-out attempts while budget
+            // remains.  A watchdog-diagnosed deadlock is determinate —
+            // rerunning it buys nothing — and clean nonzero exits
+            // (bad spec, unwritable result) are config errors, so
+            // neither is retried.
+            const bool retryable =
+                (pres.timedOut || pres.hung || pres.termSignal != 0) &&
+                !fs::exists(s.watchdogFile);
+            if (retryable && opts_.retry.shouldRetry(s.attempt) &&
+                !g_stop) {
+                const unsigned next = s.attempt + 1;
+                const double delay =
+                    opts_.retry.delayForAttempt(hash, next);
+                const bool resumable = s.ckptEvery != 0 &&
+                                       fs::exists(s.ckptFile);
+                warn("fleet: ", hash, " attempt ", s.attempt,
+                     pres.hung ? " hung"
+                     : pres.timedOut ? " timed out"
+                                     : " crashed",
+                     "; retry ", next, "/", opts_.retry.maxAttempts,
+                     " in ", delay, "s",
+                     resumable ? " (resuming from checkpoint)" : "");
+                dispatch(i, next, delay);
+                return;
+            }
+
+            outcomes[i] = harvest(jobs[i], hash, pres, s.outFile,
+                                  s.watchdogFile, s.attempt);
+            recordDone(outcomes[i]);
+        },
+        [&](std::size_t i, const std::string &frame) {
+            if (hooks.onFrame)
+                hooks.onFrame(hashes[i], frame);
+        });
+
+    if (hooks.journal) {
+        std::size_t ok = 0, failed = 0;
+        for (const auto &o : outcomes)
+            (o.ok ? ok : failed) += 1;
+        hooks.journal->batchClosed(ok, failed);
+    }
     return outcomes;
 }
 
@@ -164,10 +310,12 @@ JobOutcome
 FleetServer::harvest(const JobSpec &job, const std::string &hash,
                      const ProcessResult &pres,
                      const std::string &out_file,
-                     const std::string &watchdog_file)
+                     const std::string &watchdog_file,
+                     unsigned attempts)
 {
     JobOutcome out;
     out.hash = hash;
+    out.attempts = attempts;
 
     if (pres.ok()) {
         const std::string text = slurp(out_file);
@@ -175,18 +323,30 @@ FleetServer::harvest(const JobSpec &job, const std::string &hash,
             out.json = oneLine(text);
             out.ok = true;
             cache_.store(hash, out.json);
+            if (chaos_.corruptStore(hash)) {
+                warn("chaos: corrupting cache entry ", hash);
+                cache_.corruptEntry(hash);
+            }
+            // Annotate the emitted copy only (the cached entry stays
+            // canonical): how many dispatches this result cost.
+            if (attempts > 1)
+                annotate(out.json, "attempts",
+                         JsonValue(static_cast<double>(attempts)));
             return out;
         }
         warn("worker for ", hash,
              " exited cleanly but wrote no result");
     }
 
-    // The job died: synthesize (and cache) a failure record.  Caching
-    // failures is deliberate — rerunning a crashing config gives the
-    // same crash, and all-hit resubmits are how a sweep is resumed.
+    // The job died for good: synthesize (and cache) a failure record.
+    // Caching failures is deliberate — rerunning a crashing config
+    // gives the same crash, and all-hit resubmits are how a sweep is
+    // resumed.
     const bool watchdog_fired = fs::exists(watchdog_file);
     std::string status = "failed";
-    if (pres.timedOut)
+    if (pres.hung)
+        status = "hung";
+    else if (pres.timedOut)
         status = "timeout";
     else if (pres.termSignal != 0)
         status = "crashed";
@@ -203,6 +363,7 @@ FleetServer::harvest(const JobSpec &job, const std::string &hash,
     doc.set("exit_code", JsonValue(pres.exitCode));
     doc.set("signal", JsonValue(pres.termSignal));
     doc.set("timed_out", JsonValue(pres.timedOut));
+    doc.set("attempts", JsonValue(static_cast<double>(attempts)));
     if (watchdog_fired)
         doc.set("watchdog_snapshot", JsonValue(watchdog_file));
     out.json = doc.toString(0);
@@ -220,16 +381,42 @@ FleetServer::runSpecFile(const std::string &path)
         std::cerr << "tenoc_server: " << error << "\n";
         return 2;
     }
-    const auto outcomes = runJobs(jobs);
-    std::size_t ok = 0, cached = 0;
+
+    Journal journal;
+    JournalState replay;
+    RunHooks hooks;
+    if (!opts_.journalPath.empty()) {
+        std::string jerr;
+        if (!replayJournal(opts_.journalPath, replay, &jerr)) {
+            warn("journal: ", jerr, " -- starting fresh");
+            replay = JournalState{};
+        }
+        if (replay.records != 0)
+            inform("journal: replayed ", replay.records, " records, ",
+                   replay.doneResults.size(), " jobs recoverable");
+        std::string oerr;
+        if (!journal.open(opts_.journalPath, &oerr))
+            warn("journal: ", oerr, " -- continuing without one");
+        if (journal.isOpen())
+            hooks.journal = &journal;
+        hooks.replay = &replay;
+    }
+
+    const auto outcomes = runJobs(jobs, hooks);
+    std::size_t ok = 0, cached = 0, replayed = 0;
     for (const auto &o : outcomes) {
-        std::cout << o.json << "\n";
+        if (!o.json.empty())
+            std::cout << o.json << "\n";
         ok += o.ok ? 1 : 0;
         cached += o.cached ? 1 : 0;
+        replayed += o.replayed ? 1 : 0;
     }
     std::cerr << "fleet: " << outcomes.size() << " jobs, " << ok
               << " ok, " << outcomes.size() - ok << " failed, "
-              << cached << " cached\n";
+              << cached << " cached";
+    if (replayed != 0)
+        std::cerr << ", " << replayed << " replayed";
+    std::cerr << "\n";
     return ok == outcomes.size() ? 0 : 1;
 }
 
@@ -262,7 +449,38 @@ FleetServer::runSpool(const std::string &spool_dir, bool once)
                 fs::rename(spec_path, spec_path + ".bad", ec);
                 continue;
             }
-            const auto outcomes = runJobs(jobs);
+
+            // Every spool spec runs under a write-ahead journal.  A
+            // server SIGKILL'd mid-spec leaves spec + journal behind;
+            // the restarted server replays the journal and only runs
+            // what is still missing.
+            const std::string journal_path = spec_path + ".journal";
+            Journal journal;
+            JournalState replay;
+            std::string jerr;
+            if (!replayJournal(journal_path, replay, &jerr)) {
+                warn("spool: journal for '", spec_path, "': ", jerr,
+                     " -- starting fresh");
+                replay = JournalState{};
+            }
+            if (!replay.doneResults.empty())
+                inform("spool: resuming '", spec_path, "' -- ",
+                       replay.doneResults.size(), " of ", jobs.size(),
+                       " jobs recovered from journal",
+                       replay.truncated ? " (torn final record)"
+                                        : "");
+            std::string oerr;
+            if (!journal.open(journal_path, &oerr))
+                warn("spool: ", oerr, " -- continuing without one");
+            RunHooks hooks;
+            if (journal.isOpen())
+                hooks.journal = &journal;
+            hooks.replay = &replay;
+
+            const auto outcomes = runJobs(jobs, hooks);
+            if (g_stop)
+                break; // incomplete: keep spec + journal for restart
+
             const std::string results_path =
                 spec_path.substr(0, spec_path.size() - 5) +
                 ".results.jsonl";
@@ -273,6 +491,8 @@ FleetServer::runSpool(const std::string &spool_dir, bool once)
             if (ec)
                 warn("spool: cannot retire '", spec_path,
                      "': ", ec.message());
+            journal.close();
+            fs::remove(journal_path, ec);
             inform("spool: ", spec_path, " -> ", results_path, " (",
                    outcomes.size(), " jobs)");
         }
@@ -319,6 +539,12 @@ FleetServer::runListen(const std::string &socket_path)
             warn("accept failed: ", std::strerror(errno));
             break;
         }
+        ++conn_seq_;
+        if (chaos_.dropConnection(conn_seq_)) {
+            warn("chaos: dropping connection ", conn_seq_);
+            close(fd);
+            continue;
+        }
 
         std::vector<JobSpec> batch;
         std::string buf;
@@ -329,6 +555,8 @@ FleetServer::runListen(const std::string &socket_path)
             while (off < msg.size()) {
                 const ssize_t n =
                     write(fd, msg.data() + off, msg.size() - off);
+                if (n < 0 && errno == EINTR)
+                    continue;
                 if (n <= 0)
                     return false;
                 off += static_cast<std::size_t>(n);
@@ -337,6 +565,15 @@ FleetServer::runListen(const std::string &socket_path)
         };
         auto handleLine = [&](const std::string &line) {
             if (line.rfind("SUBMIT ", 0) == 0) {
+                // Admission control: refuse rather than queue without
+                // bound (a stuck client cannot balloon the server).
+                if (opts_.maxQueueDepth != 0 &&
+                    batch.size() >= opts_.maxQueueDepth) {
+                    sendLine("ERROR queue full (admission limit " +
+                             std::to_string(opts_.maxQueueDepth) +
+                             ")");
+                    return true;
+                }
                 JsonValue jv;
                 std::string err;
                 JobSpec job;
@@ -350,7 +587,14 @@ FleetServer::runListen(const std::string &socket_path)
                 return true;
             }
             if (line == "RUN") {
-                const auto outcomes = runJobs(batch);
+                RunHooks hooks;
+                // Live heartbeat/telemetry frames stream to the
+                // client as they arrive from the workers.
+                hooks.onFrame = [&](const std::string &hash,
+                                    const std::string &frame) {
+                    sendLine("TELEM " + hash + " " + frame);
+                };
+                const auto outcomes = runJobs(batch, hooks);
                 batch.clear();
                 for (const auto &o : outcomes)
                     sendLine("RESULT " + o.json);
@@ -367,6 +611,8 @@ FleetServer::runListen(const std::string &socket_path)
         bool open = true;
         while (open && !g_stop) {
             const ssize_t n = read(fd, chunk, sizeof(chunk));
+            if (n < 0 && errno == EINTR)
+                continue;
             if (n <= 0)
                 break;
             buf.append(chunk, static_cast<std::size_t>(n));

@@ -1,20 +1,27 @@
 /**
  * @file
- * Sweep orchestrator: shards jobs over a process pool, serves repeats
- * from the result cache, and harvests the wreckage of jobs that crash,
- * deadlock, or time out (docs/fleet.md).
+ * Self-healing sweep orchestrator: shards jobs over a supervised
+ * process pool, serves repeats from the result cache, retries
+ * crashed/hung/timed-out jobs with backoff (resuming from their last
+ * periodic checkpoint), and journals every job-state transition so a
+ * SIGKILL'd server can restart mid-sweep and finish (docs/fleet.md).
  */
 
 #ifndef TENOC_FLEET_SERVER_HH
 #define TENOC_FLEET_SERVER_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/types.hh"
 #include "fleet/cache.hh"
+#include "fleet/chaos.hh"
 #include "fleet/job.hh"
+#include "fleet/journal.hh"
 #include "fleet/pool.hh"
+#include "fleet/retry.hh"
 
 namespace tenoc::fleet
 {
@@ -27,6 +34,30 @@ struct ServerOptions
     std::string resultsDir = "tenoc_results"; ///< scratch + harvest dir
     unsigned workers = 2;    ///< concurrent worker processes
     unsigned defaultTimeoutSeconds = 0; ///< per job, 0 = unlimited
+
+    /** Retry failed/hung/timed-out jobs (maxAttempts = 1 disables). */
+    RetryPolicy retry{/*maxAttempts=*/3};
+    /** Auto-checkpoint cadence for every job (icnt cycles; 0 = off;
+     *  a job's own checkpoint_every wins).  Retries of a checkpointed
+     *  job resume instead of restarting. */
+    Cycle checkpointEveryCycles = 0;
+    /** SIGKILL a worker whose status pipe is silent this long
+     *  (seconds; 0 disables hung-worker detection). */
+    unsigned heartbeatTimeoutSeconds = 0;
+    /** Worker heartbeat cadence in icnt cycles. */
+    Cycle heartbeatIntervalCycles = 500;
+    /** Per-worker address-space rlimit in MiB (0 = unlimited). */
+    unsigned rlimitAsMb = 0;
+    /** Per-worker CPU-seconds rlimit (0 = unlimited). */
+    unsigned rlimitCpuSeconds = 0;
+    /** Admission control: listen-mode SUBMITs beyond this many queued
+     *  jobs are refused with an ERROR (0 = unlimited). */
+    std::size_t maxQueueDepth = 0;
+    /** Write-ahead journal for --spec runs ("" = off; spool mode
+     *  journals automatically beside each spec file). */
+    std::string journalPath;
+    /** Fault injection (normally parsed from TENOC_CHAOS). */
+    ChaosSpec chaos;
 };
 
 /** One finished job as the server reports it. */
@@ -35,7 +66,9 @@ struct JobOutcome
     std::string hash;     ///< canonical config hash
     std::string json;     ///< tenoc-fleet-result-v1 document (one line)
     bool cached = false;  ///< served from the result cache
+    bool replayed = false;///< served from a journal replay
     bool ok = false;      ///< worker produced a result (even timed_out)
+    unsigned attempts = 0;///< dispatch attempts (0 = never dispatched)
 };
 
 class FleetServer
@@ -43,22 +76,41 @@ class FleetServer
   public:
     explicit FleetServer(ServerOptions opts);
 
+    /** Live frame sink: (job config hash, one frame line). */
+    using FrameFn = std::function<void(const std::string &hash,
+                                       const std::string &frame)>;
+
+    /** Optional per-batch recovery hooks for runJobs(). */
+    struct RunHooks
+    {
+        Journal *journal = nullptr;       ///< appended to, if open
+        const JournalState *replay = nullptr; ///< pre-completed jobs
+        FrameFn onFrame;                  ///< heartbeat/telemetry taps
+    };
+
     /**
-     * Runs a batch: cache-hits are returned immediately, everything
-     * else is sharded over the process pool.  Outcomes are indexed
-     * like `jobs`.
+     * Runs a batch: journal-replayed and cache-hit jobs are returned
+     * immediately, everything else is sharded over the process pool
+     * with retry-on-failure.  Outcomes are indexed like `jobs`.
      */
     std::vector<JobOutcome> runJobs(const std::vector<JobSpec> &jobs);
+    std::vector<JobOutcome> runJobs(const std::vector<JobSpec> &jobs,
+                                    const RunHooks &hooks);
 
-    /** Runs a spec file and streams outcome JSON lines to stdout.
+    /** Runs a spec file (journaled when options().journalPath is set)
+     *  and streams outcome JSON lines to stdout.
      *  @return 0 when every job produced a result. */
     int runSpecFile(const std::string &path);
 
     /**
      * Watches `spool_dir` for `*.json` spec files; each is executed
-     * and answered with a sibling `<name>.results.jsonl`, then renamed
-     * to `<name>.done`.  `once` processes what is present and returns
-     * (CI mode); otherwise loops until SIGINT/SIGTERM.
+     * under a write-ahead journal (`<name>.json.journal`) and answered
+     * with a sibling `<name>.results.jsonl`, then renamed to
+     * `<name>.done`.  A server killed mid-spec leaves the spec file
+     * and its journal in place; the restarted server replays the
+     * journal, serves completed jobs from it, and re-enqueues the
+     * rest.  `once` processes what is present and returns (CI mode);
+     * otherwise loops until SIGINT/SIGTERM.
      */
     int runSpool(const std::string &spool_dir, bool once);
 
@@ -66,14 +118,18 @@ class FleetServer
      * Serves a Unix-domain stream socket.  Protocol, line oriented:
      *   client: SUBMIT <job-json>     (repeatable)
      *   client: RUN
+     *   server: TELEM <hash> <frame>  (live, while jobs run)
      *   server: RESULT <outcome-json> (one per submitted job)
      *   server: DONE
-     * EOF or QUIT ends the connection; the server keeps listening
-     * until SIGINT/SIGTERM.
+     * SUBMIT beyond maxQueueDepth is refused with ERROR (admission
+     * control).  EOF or QUIT ends the connection; the server keeps
+     * listening until SIGINT/SIGTERM.
      */
     int runListen(const std::string &socket_path);
 
     const ServerOptions &options() const { return opts_; }
+    const ResultCache &cache() const { return cache_; }
+    ChaosMonkey &chaosMonkey() { return chaos_; }
 
   private:
     /** Turns a reaped worker process into an outcome (reading its
@@ -82,11 +138,14 @@ class FleetServer
     JobOutcome harvest(const JobSpec &job, const std::string &hash,
                        const ProcessResult &pres,
                        const std::string &out_file,
-                       const std::string &watchdog_file);
+                       const std::string &watchdog_file,
+                       unsigned attempts);
 
     ServerOptions opts_;
     ResultCache cache_;
+    ChaosMonkey chaos_;
     std::uint64_t batch_seq_ = 0; ///< uniquifies scratch file names
+    std::uint64_t conn_seq_ = 0;  ///< accepted connections (chaos)
 };
 
 } // namespace tenoc::fleet

@@ -5,8 +5,13 @@
 
 #include "fleet/worker.hh"
 
+#include <cerrno>
+#include <csignal>
+#include <ctime>
 #include <fstream>
 #include <iostream>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "accel/chip_config.hh"
 #include "accel/experiments.hh"
@@ -20,14 +25,58 @@ namespace tenoc::fleet
 
 using telemetry::JsonValue;
 
+namespace
+{
+
+constexpr Cycle DEFAULT_HEARTBEAT_CYCLES = 500;
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st{};
+    return !path.empty() && ::stat(path.c_str(), &st) == 0;
+}
+
+/** Writes one frame line to the status pipe (EINTR-safe; a vanished
+ *  supervisor is ignored — the simulation result still matters). */
+void
+writeFrame(int fd, const JsonValue &frame)
+{
+    if (fd < 0)
+        return;
+    const std::string line = frame.toString(0) + "\n";
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::write(fd, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EPIPE etc.: supervisor is gone, keep simulating
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+JsonValue
+frameOf(const char *type)
+{
+    JsonValue f = JsonValue::makeObject();
+    f.set("schema", JsonValue("tenoc-fleet-frame-v1"));
+    f.set("type", JsonValue(type));
+    return f;
+}
+
+} // namespace
+
 int
-runWorkerJob(const std::string &job_file, const std::string &out_file,
-             const std::string &watchdog_path)
+runWorkerJob(const WorkerOptions &wopts)
 {
     std::vector<JobSpec> jobs;
     std::string error;
-    if (!parseSpecFile(job_file, jobs, &error) || jobs.size() != 1) {
-        std::cerr << "tenoc worker: bad job file '" << job_file
+    if (!parseSpecFile(wopts.jobFile, jobs, &error) ||
+        jobs.size() != 1) {
+        std::cerr << "tenoc worker: bad job file '" << wopts.jobFile
                   << "': " << (error.empty() ? "want exactly one job"
                                              : error)
                   << "\n";
@@ -40,8 +89,8 @@ runWorkerJob(const std::string &job_file, const std::string &out_file,
     ChipParams params = chipParamsFromConfig(chipConfig(resolved));
     // Harvest paths are per-attempt plumbing, not experiment identity:
     // applied after hashing so identical configs share a cache entry.
-    if (!watchdog_path.empty())
-        params.mesh.watchdogSnapshotPath = watchdog_path;
+    if (!wopts.watchdogPath.empty())
+        params.mesh.watchdogSnapshotPath = wopts.watchdogPath;
 
     KernelProfile profile = findWorkload(job.workload);
     if (job.scale != 1.0)
@@ -51,6 +100,71 @@ runWorkerJob(const std::string &job_file, const std::string &out_file,
     opts.checkpointAt = job.checkpointAt;
     opts.checkpointOut = job.checkpointOut;
     opts.restoreFrom = job.restoreFrom;
+
+    // Retry-from-checkpoint: a previous attempt's periodic checkpoint
+    // outranks the job's own restore_from (it is a strictly later
+    // state of the same run).
+    bool resumed = false;
+    if (wopts.checkpointEvery != 0 && !wopts.checkpointFile.empty()) {
+        opts.checkpointEvery = wopts.checkpointEvery;
+        opts.checkpointEveryOut = wopts.checkpointFile;
+        if (fileExists(wopts.checkpointFile)) {
+            opts.restoreFrom = wopts.checkpointFile;
+            resumed = true;
+        }
+    }
+
+    {
+        JsonValue f = frameOf("start");
+        f.set("config_hash", JsonValue(hash));
+        f.set("workload", JsonValue(job.workload));
+        if (resumed) {
+            f.set("resumed_from", JsonValue(wopts.checkpointFile));
+        }
+        writeFrame(wopts.statusFd, f);
+    }
+
+    // Heartbeats with live interval telemetry: cumulative counters
+    // plus per-interval deltas, so a supervisor (or a client watching
+    // TELEM lines) sees throughput evolve while the run is live.
+    const Cycle hb = wopts.heartbeatCycles != 0
+                         ? wopts.heartbeatCycles
+                         : DEFAULT_HEARTBEAT_CYCLES;
+    std::uint64_t last_insts = 0;
+    std::uint64_t last_pkts = 0;
+    Cycle last_cycle = 0;
+    opts.progressEvery = hb;
+    opts.onProgress = [&](const Chip::Progress &p) {
+        if (wopts.chaosKillAtCycle != 0 &&
+            p.icntCycle >= wopts.chaosKillAtCycle)
+            raise(SIGKILL);
+        if (wopts.chaosStallAtCycle != 0 &&
+            p.icntCycle >= wopts.chaosStallAtCycle) {
+            // Chaos stall: a harness hang, as opposed to a simulator
+            // deadlock — no frames, no progress, no exit.  Only the
+            // supervisor's heartbeat deadline gets us out of here.
+            for (;;)
+                pause();
+        }
+        JsonValue f = frameOf("hb");
+        f.set("cycle", JsonValue(static_cast<double>(p.icntCycle)));
+        f.set("core_cycle",
+              JsonValue(static_cast<double>(p.coreCycle)));
+        f.set("kernel", JsonValue(static_cast<double>(p.kernel)));
+        f.set("insts", JsonValue(static_cast<double>(p.scalarInsts)));
+        f.set("pkts",
+              JsonValue(static_cast<double>(p.packetsEjected)));
+        f.set("d_cycle", JsonValue(static_cast<double>(
+                             p.icntCycle - last_cycle)));
+        f.set("d_insts", JsonValue(static_cast<double>(
+                             p.scalarInsts - last_insts)));
+        f.set("d_pkts", JsonValue(static_cast<double>(
+                            p.packetsEjected - last_pkts)));
+        writeFrame(wopts.statusFd, f);
+        last_insts = p.scalarInsts;
+        last_pkts = p.packetsEjected;
+        last_cycle = p.icntCycle;
+    };
 
     const ChipResult r = runWorkload(params, profile, nullptr, opts);
 
@@ -77,15 +191,36 @@ runWorkerJob(const std::string &job_file, const std::string &out_file,
     doc.set("packets_ejected",
             JsonValue(static_cast<double>(r.packetsEjected)));
 
-    std::ofstream os(out_file);
+    std::ofstream os(wopts.outFile);
     if (!os) {
         std::cerr << "tenoc worker: cannot write result file '"
-                  << out_file << "'\n";
+                  << wopts.outFile << "'\n";
         return 3;
     }
     doc.write(os, 0);
     os << "\n";
-    return os ? 0 : 3;
+    os.flush();
+    if (!os)
+        return 3;
+
+    {
+        JsonValue f = frameOf("result");
+        f.set("config_hash", JsonValue(hash));
+        f.set("status", JsonValue("ok"));
+        writeFrame(wopts.statusFd, f);
+    }
+    return 0;
+}
+
+int
+runWorkerJob(const std::string &job_file, const std::string &out_file,
+             const std::string &watchdog_path)
+{
+    WorkerOptions opts;
+    opts.jobFile = job_file;
+    opts.outFile = out_file;
+    opts.watchdogPath = watchdog_path;
+    return runWorkerJob(opts);
 }
 
 } // namespace tenoc::fleet

@@ -3,11 +3,29 @@
  * Fleet worker: runs exactly one job inside a fork/exec'd process.
  *
  * tenoc_server re-executes itself with `--worker --job FILE --out FILE
- * --watchdog-out FILE`; runWorkerJob() is everything that happens on
- * the far side of that exec.  Keeping the job in its own process means
- * a crash, deadlock watchdog abort, or runaway config only loses that
- * job — the server harvests the exit status (and any watchdog
- * snapshot) and keeps the sweep going.
+ * ...`; runWorkerJob() is everything that happens on the far side of
+ * that exec.  Keeping the job in its own process means a crash,
+ * deadlock watchdog abort, or runaway config only loses that job — the
+ * server harvests the exit status (and any watchdog snapshot) and
+ * keeps the sweep going.
+ *
+ * Supervision plumbing (all per-attempt, applied after the config hash
+ * is computed so harvest paths never perturb content addressing):
+ *
+ * - `statusFd` streams newline-delimited `tenoc-fleet-frame-v1` JSON
+ *   frames — an immediate `start`, a heartbeat with live interval
+ *   telemetry every `heartbeatCycles` icnt cycles, `resumed` when a
+ *   checkpoint is picked up, and a final `result` — so the server can
+ *   tell a hung harness (silence) from a deadlocked simulator
+ *   (watchdog exit) and stream live progress to clients.
+ * - `checkpointEvery`/`checkpointFile` arm recurring atomic
+ *   checkpoints; if `checkpointFile` already exists on entry the run
+ *   *resumes* from it, which is how a timed-out/killed attempt's
+ *   retry picks up where the last checkpoint left off instead of
+ *   restarting (bit-identical: tests/test_fleet_recovery.cc).
+ * - `chaosKillAtCycle`/`chaosStallAtCycle` are the chaos monkey's
+ *   levers (docs/fleet.md): raise(SIGKILL), or stop heartbeating
+ *   forever, at the given icnt cycle.
  */
 
 #ifndef TENOC_FLEET_WORKER_HH
@@ -15,20 +33,35 @@
 
 #include <string>
 
+#include "common/types.hh"
+
 namespace tenoc::fleet
 {
 
+/** Everything --worker mode parses from its argv. */
+struct WorkerOptions
+{
+    std::string jobFile;      ///< single-job spec (required)
+    std::string outFile;      ///< result document sink (required)
+    std::string watchdogPath; ///< watchdog snapshot redirect
+    int statusFd = -1;        ///< heartbeat pipe ( -1 = no streaming)
+    Cycle heartbeatCycles = 0;  ///< frame cadence (0 = default)
+    Cycle checkpointEvery = 0;  ///< recurring checkpoint cadence
+    std::string checkpointFile; ///< recurring checkpoint target
+    Cycle chaosKillAtCycle = 0;  ///< chaos: SIGKILL self at cycle
+    Cycle chaosStallAtCycle = 0; ///< chaos: stop heartbeating at cycle
+};
+
 /**
- * Runs the single-job spec in `job_file` and writes a
- * tenoc-fleet-result-v1 JSON document to `out_file`.
- *
- * `watchdog_path`, if non-empty, redirects the network watchdog's
- * diagnostic snapshot there.  It is applied after the config hash is
- * computed, so harvest paths never perturb content addressing.
+ * Runs the single-job spec and writes a tenoc-fleet-result-v1 JSON
+ * document to `outFile`.
  *
  * @return process exit code (0 = result written, including runs that
  *         hit their cycle budget; nonzero = bad spec).
  */
+int runWorkerJob(const WorkerOptions &opts);
+
+/** Back-compat convenience over the options struct. */
 int runWorkerJob(const std::string &job_file,
                  const std::string &out_file,
                  const std::string &watchdog_path);

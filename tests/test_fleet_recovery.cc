@@ -1,0 +1,670 @@
+/**
+ * @file
+ * Self-healing fleet correctness (docs/fleet.md).
+ *
+ * Covers the recovery machinery end to end: retry backoff arithmetic,
+ * the crash-safe job journal (round trip, torn tail, replay serving),
+ * result-cache integrity eviction, chaos spec parsing and monkey
+ * determinism, periodic-checkpoint resume equivalence at the Chip
+ * level, and — via the real tenoc_server binary (TENOC_SERVER_BIN) —
+ * hung-worker supervision with retry-from-checkpoint and a server
+ * SIGKILL'd mid-sweep whose restart completes the sweep from its
+ * journal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "accel/chip.hh"
+#include "accel/chip_config.hh"
+#include "common/snapshot.hh"
+#include "fleet/cache.hh"
+#include "fleet/chaos.hh"
+#include "fleet/job.hh"
+#include "fleet/journal.hh"
+#include "fleet/retry.hh"
+#include "fleet/server.hh"
+#include "gpu/workloads.hh"
+#include "telemetry/json.hh"
+
+namespace tenoc::fleet
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+using telemetry::JsonValue;
+
+/** Temp path unique to the current test. */
+std::string
+tempPath(const char *tag)
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + "tenoc_fleet_" + info->name() + "_" +
+           tag;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+JobSpec
+smallJob(const char *vc_depth)
+{
+    JobSpec j;
+    j.workload = "MM";
+    j.scale = 0.02;
+    j.overrides.set("noc.vcDepth", std::string(vc_depth));
+    return j;
+}
+
+/** Numeric result fields that must survive any recovery path. */
+void
+expectSameMetrics(const std::string &a_json, const std::string &b_json)
+{
+    JsonValue a, b;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(a_json, a, &err)) << err;
+    ASSERT_TRUE(JsonValue::parse(b_json, b, &err)) << err;
+    for (const char *field :
+         {"ipc", "scalar_insts", "core_cycles", "icnt_cycles",
+          "avg_net_latency", "packets_ejected", "dram_efficiency"}) {
+        const JsonValue *av = a.find(field);
+        const JsonValue *bv = b.find(field);
+        ASSERT_NE(av, nullptr) << field;
+        ASSERT_NE(bv, nullptr) << field;
+        EXPECT_EQ(av->asNumber(), bv->asNumber()) << field;
+    }
+}
+
+// ---------------------------------------------------------------- retry
+
+TEST(RetryPolicy, FirstAttemptNeverWaits)
+{
+    RetryPolicy p;
+    EXPECT_EQ(p.delayForAttempt("h", 1), 0.0);
+}
+
+TEST(RetryPolicy, BackoffDoublesJittersAndCaps)
+{
+    RetryPolicy p;
+    p.maxAttempts = 10;
+    p.backoffBaseSeconds = 1.0;
+    p.backoffMaxSeconds = 8.0;
+    double prev_nominal = 0.5; // jitter floor of the base delay
+    for (unsigned attempt = 2; attempt <= 9; ++attempt) {
+        const double d = p.delayForAttempt("somehash", attempt);
+        // Deterministic: same (seed, hash, attempt) -> same delay.
+        EXPECT_EQ(d, p.delayForAttempt("somehash", attempt));
+        // Jitter scales into [0.5, 1.0) of the nominal delay.
+        const double nominal =
+            std::min(p.backoffMaxSeconds,
+                     p.backoffBaseSeconds *
+                         static_cast<double>(1u << (attempt - 2)));
+        EXPECT_GE(d, 0.5 * nominal);
+        EXPECT_LT(d, nominal);
+        EXPECT_GE(nominal, prev_nominal);
+        prev_nominal = nominal;
+        EXPECT_LE(d, p.backoffMaxSeconds);
+    }
+    // Different hashes see different jitter (thundering-herd spread).
+    EXPECT_NE(p.delayForAttempt("hash-a", 3),
+              p.delayForAttempt("hash-b", 3));
+}
+
+TEST(RetryPolicy, ShouldRetryHonorsBudget)
+{
+    RetryPolicy p;
+    p.maxAttempts = 3;
+    EXPECT_TRUE(p.shouldRetry(1));
+    EXPECT_TRUE(p.shouldRetry(2));
+    EXPECT_FALSE(p.shouldRetry(3));
+    RetryPolicy off;
+    off.maxAttempts = 1;
+    EXPECT_FALSE(off.shouldRetry(1));
+}
+
+// -------------------------------------------------------------- journal
+
+TEST(Journal, RoundTripsJobStates)
+{
+    const std::string path = tempPath("journal");
+    std::remove(path.c_str());
+    {
+        Journal j;
+        std::string err;
+        ASSERT_TRUE(j.open(path, &err)) << err;
+        j.batchOpened({"h1", "h2"});
+        j.attemptStarted("h1", 1);
+        j.jobDone("h1", "ok", "{\"status\": \"ok\", \"ipc\": 1.5}");
+        j.attemptStarted("h2", 1);
+        j.attemptStarted("h2", 2);
+    }
+    JournalState st;
+    std::string err;
+    ASSERT_TRUE(replayJournal(path, st, &err)) << err;
+    EXPECT_FALSE(st.truncated);
+    EXPECT_FALSE(st.batchDone);
+    ASSERT_EQ(st.batchHashes.size(), 2u);
+    EXPECT_EQ(st.batchHashes[0], "h1");
+    EXPECT_TRUE(st.isDone("h1"));
+    EXPECT_FALSE(st.isDone("h2"));
+    EXPECT_EQ(st.attempts.at("h2"), 2u);
+    EXPECT_EQ(st.doneStatus.at("h1"), "ok");
+
+    // The recorded result document round-trips.
+    JsonValue doc;
+    ASSERT_TRUE(JsonValue::parse(st.doneResults.at("h1"), doc, &err))
+        << err;
+    EXPECT_EQ(doc.find("ipc")->asNumber(), 1.5);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, ToleratesTornFinalLine)
+{
+    const std::string path = tempPath("torn");
+    {
+        Journal j;
+        std::string err;
+        ASSERT_TRUE(j.open(path, &err)) << err;
+        j.batchOpened({"h1"});
+        j.jobDone("h1", "ok", "{\"status\": \"ok\"}");
+    }
+    // Simulate a crash mid-append: a record cut off before its
+    // newline (and before its closing brace).
+    {
+        std::ofstream os(path, std::ios::app);
+        os << "{\"event\":\"done\",\"hash\":\"h2\"";
+    }
+    JournalState st;
+    std::string err;
+    ASSERT_TRUE(replayJournal(path, st, &err)) << err;
+    EXPECT_TRUE(st.truncated);
+    EXPECT_TRUE(st.isDone("h1")); // records before the tear survive
+    EXPECT_FALSE(st.isDone("h2"));
+    std::remove(path.c_str());
+}
+
+TEST(Journal, MissingFileIsEmptyState)
+{
+    JournalState st;
+    std::string err;
+    ASSERT_TRUE(replayJournal(tempPath("nonexistent"), st, &err))
+        << err;
+    EXPECT_EQ(st.records, 0u);
+    EXPECT_TRUE(st.batchHashes.empty());
+}
+
+TEST(Journal, GarbledMiddleLineIsAnError)
+{
+    const std::string path = tempPath("garbled");
+    {
+        std::ofstream os(path);
+        os << "this is not json\n";
+        os << "{\"event\":\"batch\",\"schema\":\"tenoc-journal-v1\","
+              "\"jobs\":[]}\n";
+    }
+    JournalState st;
+    std::string err;
+    EXPECT_FALSE(replayJournal(path, st, &err));
+    EXPECT_FALSE(err.empty());
+    std::remove(path.c_str());
+}
+
+TEST(Journal, RebatchKeepsDoneFactsButResetsMembership)
+{
+    const std::string path = tempPath("rebatch");
+    std::remove(path.c_str());
+    {
+        Journal j;
+        std::string err;
+        ASSERT_TRUE(j.open(path, &err)) << err;
+        j.batchOpened({"old1", "old2"});
+        j.jobDone("old1", "ok", "{\"status\": \"ok\"}");
+        j.batchClosed(1, 1);
+        // A restarted server re-opens the same journal and appends a
+        // fresh batch record.
+        j.batchOpened({"new1"});
+        j.attemptStarted("new1", 1);
+    }
+    JournalState st;
+    std::string err;
+    ASSERT_TRUE(replayJournal(path, st, &err)) << err;
+    ASSERT_EQ(st.batchHashes.size(), 1u);
+    EXPECT_EQ(st.batchHashes[0], "new1");
+    EXPECT_FALSE(st.batchDone); // the *new* batch is not done
+    // Done records are content-addressed facts: they survive a
+    // rebatch, so a twice-restarted server still serves the first
+    // incarnation's results without recomputing them.
+    EXPECT_TRUE(st.isDone("old1"));
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- cache
+
+TEST(CacheIntegrity, RoundTripsAndVerifies)
+{
+    const std::string dir = tempPath("cache");
+    fs::remove_all(dir);
+    ResultCache cache(dir);
+    const std::string payload = "{\"status\": \"ok\", \"ipc\": 2.0}";
+    cache.store("abcd", payload);
+    const auto hit = cache.lookup("abcd");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, payload);
+    EXPECT_EQ(cache.evictions(), 0u);
+    fs::remove_all(dir);
+}
+
+TEST(CacheIntegrity, EvictsTruncatedEntry)
+{
+    const std::string dir = tempPath("cache");
+    fs::remove_all(dir);
+    ResultCache cache(dir);
+    cache.store("abcd", "{\"status\": \"ok\", \"ipc\": 2.0}");
+    ASSERT_TRUE(cache.corruptEntry("abcd"));
+
+    EXPECT_FALSE(cache.lookup("abcd").has_value());
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(fs::exists(cache.entryPath("abcd")));
+    // Stays a clean miss afterwards.
+    EXPECT_FALSE(cache.lookup("abcd").has_value());
+    EXPECT_EQ(cache.evictions(), 1u);
+    fs::remove_all(dir);
+}
+
+TEST(CacheIntegrity, EvictsFlippedByteAndMissingTrailer)
+{
+    const std::string dir = tempPath("cache");
+    fs::remove_all(dir);
+    ResultCache cache(dir);
+    cache.store("flip", "{\"status\": \"ok\", \"ipc\": 2.0}");
+    {
+        std::fstream f(cache.entryPath("flip"),
+                       std::ios::in | std::ios::out);
+        f.seekp(12);
+        f.put('X'); // bit-rot inside the payload
+    }
+    EXPECT_FALSE(cache.lookup("flip").has_value());
+
+    // An entry with no trailer at all (pre-integrity format, or a
+    // torn write) is also refused.
+    {
+        std::ofstream os(cache.entryPath("bare"));
+        os << "{\"status\": \"ok\"}\n";
+    }
+    EXPECT_FALSE(cache.lookup("bare").has_value());
+    EXPECT_EQ(cache.evictions(), 2u);
+    fs::remove_all(dir);
+}
+
+TEST(CacheIntegrity, DisabledCacheMissesQuietly)
+{
+    ResultCache cache("");
+    cache.store("h", "{}");
+    EXPECT_FALSE(cache.lookup("h").has_value());
+    EXPECT_FALSE(cache.enabled());
+}
+
+// ---------------------------------------------------------------- chaos
+
+TEST(Chaos, ParsesSpecStrings)
+{
+    ChaosSpec s;
+    std::string err;
+    EXPECT_TRUE(parseChaosSpec(nullptr, s, &err));
+    EXPECT_FALSE(s.enabled());
+    EXPECT_TRUE(parseChaosSpec("", s, &err));
+    EXPECT_FALSE(s.enabled());
+
+    ASSERT_TRUE(parseChaosSpec(
+        "kill=0.5,stall=0.25,corrupt=0.3,drop=0.2,seed=7,budget=3", s,
+        &err))
+        << err;
+    EXPECT_EQ(s.killRate, 0.5);
+    EXPECT_EQ(s.stallRate, 0.25);
+    EXPECT_EQ(s.corruptRate, 0.3);
+    EXPECT_EQ(s.dropRate, 0.2);
+    EXPECT_EQ(s.seed, 7u);
+    EXPECT_EQ(s.faultBudgetPerJob, 3u);
+    EXPECT_TRUE(s.enabled());
+
+    EXPECT_FALSE(parseChaosSpec("kill=1.5", s, &err));
+    EXPECT_FALSE(parseChaosSpec("bogus=1", s, &err));
+    EXPECT_FALSE(parseChaosSpec("kill=abc", s, &err));
+}
+
+TEST(Chaos, MonkeyIsDeterministicAndBudgeted)
+{
+    ChaosSpec s;
+    s.killRate = 1.0; // every attempt faulted until the budget runs out
+    s.seed = 11;
+    s.faultBudgetPerJob = 2;
+
+    ChaosMonkey a(s), b(s);
+    std::uint64_t at_a = 0, at_b = 0;
+    for (unsigned attempt = 1; attempt <= 2; ++attempt) {
+        EXPECT_EQ(a.workerFault("job1", attempt, &at_a),
+                  ChaosMonkey::WorkerFault::KILL);
+        EXPECT_EQ(b.workerFault("job1", attempt, &at_b),
+                  ChaosMonkey::WorkerFault::KILL);
+        EXPECT_EQ(at_a, at_b); // reproducible fault schedule
+        EXPECT_GE(at_a, 50u);  // never before the warm-up window
+        EXPECT_LT(at_a, 500u); // short CI workloads must reach it
+    }
+    // Budget exhausted: the job's remaining attempts run clean, which
+    // is what makes a chaos sweep provably convergent.
+    EXPECT_EQ(a.workerFault("job1", 3, &at_a),
+              ChaosMonkey::WorkerFault::NONE);
+    // Other jobs have their own budget.
+    EXPECT_NE(a.workerFault("job2", 1, &at_a),
+              ChaosMonkey::WorkerFault::NONE);
+    EXPECT_EQ(a.killsInjected() + a.stallsInjected(), 3u);
+}
+
+// ------------------------------------------- periodic checkpoint resume
+
+/**
+ * The substrate of retry-from-checkpoint: run with recurring
+ * checkpoints armed, resume a fresh chip from the last one (with the
+ * cadence re-armed, exactly as a retried worker does), and require the
+ * final sealed state to be bit-identical to an uninterrupted run.
+ */
+TEST(PeriodicCheckpoint, ResumeIsBitIdentical)
+{
+    const auto params = makeConfig(ConfigId::BASELINE_TB_DOR);
+    const auto prof = scaleWorkload(findWorkload("MM"), 0.05);
+    const std::string path = tempPath("ckpt");
+
+    Chip uninterrupted(params, prof);
+    const ChipResult want = uninterrupted.run();
+    ASSERT_FALSE(want.timedOut);
+    SnapshotWriter ww;
+    uninterrupted.save(ww);
+    const auto want_state = sealSnapshot(ww);
+
+    Chip first(params, prof);
+    first.schedulePeriodicCheckpoint(300, path);
+    first.run();
+    ASSERT_TRUE(fs::exists(path)) << "no periodic checkpoint written";
+
+    // Resume as a retried worker would: restore the last checkpoint
+    // AND re-arm the same cadence at the same path.
+    Chip resumed(params, prof);
+    std::string error;
+    ASSERT_TRUE(resumed.restoreFromFile(path, &error)) << error;
+    resumed.schedulePeriodicCheckpoint(300, path);
+    const ChipResult got = resumed.run();
+
+    EXPECT_EQ(want.scalarInsts, got.scalarInsts);
+    EXPECT_EQ(want.icntCycles, got.icntCycles);
+    EXPECT_EQ(want.packetsEjected, got.packetsEjected);
+    EXPECT_EQ(want.ipc, got.ipc);
+    SnapshotWriter wr;
+    resumed.save(wr);
+    EXPECT_EQ(want_state, sealSnapshot(wr));
+    std::remove(path.c_str());
+}
+
+// --------------------------------------- in-process server-level tests
+
+ServerOptions
+baseServerOptions(const char *tag)
+{
+    ServerOptions o;
+    o.workerExe = TENOC_SERVER_BIN;
+    o.resultsDir = tempPath(tag);
+    o.defaultTimeoutSeconds = 300;
+    return o;
+}
+
+TEST(FleetRecovery, HungWorkerIsKilledAndRetriedToSuccess)
+{
+    // Clean reference first.
+    ServerOptions clean = baseServerOptions("clean");
+    clean.retry.maxAttempts = 1;
+    const auto want = FleetServer(clean).runJobs({smallJob("4")});
+    ASSERT_EQ(want.size(), 1u);
+    ASSERT_TRUE(want[0].ok) << want[0].json;
+
+    // Now stall attempt 1's heartbeats; supervision must SIGKILL the
+    // hung harness and the retry (resuming from the periodic
+    // checkpoint when one exists) must converge to the same numbers.
+    ServerOptions o = baseServerOptions("hung");
+    o.retry.maxAttempts = 3;
+    o.retry.backoffBaseSeconds = 0.05;
+    o.retry.backoffMaxSeconds = 0.1;
+    o.heartbeatTimeoutSeconds = 1;
+    o.heartbeatIntervalCycles = 100;
+    o.checkpointEveryCycles = 300;
+    o.chaos.stallRate = 1.0;
+    o.chaos.seed = 5;
+    o.chaos.faultBudgetPerJob = 1;
+
+    bool saw_heartbeat = false;
+    FleetServer::RunHooks hooks;
+    hooks.onFrame = [&](const std::string &, const std::string &f) {
+        if (f.find("\"type\": \"hb\"") != std::string::npos ||
+            f.find("\"type\":\"hb\"") != std::string::npos)
+            saw_heartbeat = true;
+    };
+    const auto got = FleetServer(o).runJobs({smallJob("4")}, hooks);
+    ASSERT_EQ(got.size(), 1u);
+    ASSERT_TRUE(got[0].ok) << got[0].json;
+    EXPECT_GE(got[0].attempts, 2u);
+    EXPECT_TRUE(saw_heartbeat);
+    expectSameMetrics(want[0].json, got[0].json);
+}
+
+TEST(FleetRecovery, KilledWorkerRetriesFromCheckpointBitEqual)
+{
+    ServerOptions clean = baseServerOptions("clean");
+    clean.retry.maxAttempts = 1;
+    const auto want = FleetServer(clean).runJobs({smallJob("6")});
+    ASSERT_TRUE(want[0].ok) << want[0].json;
+
+    ServerOptions o = baseServerOptions("killed");
+    o.retry.maxAttempts = 4;
+    o.retry.backoffBaseSeconds = 0.05;
+    o.retry.backoffMaxSeconds = 0.1;
+    o.checkpointEveryCycles = 300;
+    // Faults only fire at progress-callback boundaries; keep them
+    // dense so the scheduled kill cycle is reached before run end.
+    o.heartbeatIntervalCycles = 100;
+    o.chaos.killRate = 1.0;
+    o.chaos.seed = 9;
+    o.chaos.faultBudgetPerJob = 2; // attempts 1 and 2 die, 3 resumes
+    const auto got = FleetServer(o).runJobs({smallJob("6")});
+    ASSERT_TRUE(got[0].ok) << got[0].json;
+    EXPECT_EQ(got[0].attempts, 3u);
+    expectSameMetrics(want[0].json, got[0].json);
+}
+
+TEST(FleetRecovery, ExhaustedRetriesReportHungOrCrashed)
+{
+    ServerOptions o = baseServerOptions("exhausted");
+    o.retry.maxAttempts = 2;
+    o.retry.backoffBaseSeconds = 0.05;
+    o.retry.backoffMaxSeconds = 0.1;
+    o.heartbeatIntervalCycles = 100;
+    o.chaos.killRate = 1.0;
+    o.chaos.seed = 3;
+    o.chaos.faultBudgetPerJob = 100; // never runs clean
+    const auto got = FleetServer(o).runJobs({smallJob("4")});
+    ASSERT_EQ(got.size(), 1u);
+    ASSERT_FALSE(got[0].ok) << got[0].json;
+    EXPECT_EQ(got[0].attempts, 2u);
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(got[0].json, doc, &err)) << err;
+    ASSERT_NE(doc.find("status"), nullptr) << got[0].json;
+    ASSERT_NE(doc.find("attempts"), nullptr) << got[0].json;
+    EXPECT_EQ(doc.find("status")->asString(), "crashed");
+    EXPECT_EQ(doc.find("attempts")->asNumber(), 2.0);
+}
+
+TEST(FleetRecovery, JournalReplayServesCompletedJobs)
+{
+    const std::string journal_path = tempPath("journal");
+    std::remove(journal_path.c_str());
+    const std::vector<JobSpec> jobs = {smallJob("4"), smallJob("6")};
+
+    ServerOptions o = baseServerOptions("journaled");
+    std::vector<JobOutcome> first;
+    {
+        Journal journal;
+        std::string err;
+        ASSERT_TRUE(journal.open(journal_path, &err)) << err;
+        FleetServer::RunHooks hooks;
+        hooks.journal = &journal;
+        first = FleetServer(o).runJobs(jobs, hooks);
+        ASSERT_TRUE(first[0].ok && first[1].ok);
+    }
+
+    // A "restarted server": no cache, fresh FleetServer — everything
+    // must come back from the journal without spawning a worker.
+    JournalState replay;
+    std::string err;
+    ASSERT_TRUE(replayJournal(journal_path, replay, &err)) << err;
+    EXPECT_TRUE(replay.batchDone);
+    FleetServer::RunHooks hooks;
+    hooks.replay = &replay;
+    const auto again =
+        FleetServer(baseServerOptions("replayed")).runJobs(jobs, hooks);
+    ASSERT_EQ(again.size(), 2u);
+    for (std::size_t i = 0; i < again.size(); ++i) {
+        EXPECT_TRUE(again[i].replayed);
+        EXPECT_TRUE(again[i].ok);
+        expectSameMetrics(first[i].json, again[i].json);
+    }
+    std::remove(journal_path.c_str());
+}
+
+// ------------------------------------- process-level server kill test
+
+pid_t
+spawnServer(const std::vector<std::string> &args)
+{
+    const pid_t pid = fork();
+    if (pid != 0)
+        return pid;
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (const auto &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    _exit(127);
+}
+
+/**
+ * The headline robustness scenario: SIGKILL a spool server mid-sweep,
+ * restart it, and require the sweep to finish with every job's result
+ * present — completed jobs recovered from the write-ahead journal,
+ * the rest re-run.
+ */
+TEST(FleetRecovery, ServerKilledMidSweepRestartsAndCompletes)
+{
+    const std::string spool = tempPath("spool");
+    const std::string results = tempPath("results");
+    fs::remove_all(spool);
+    fs::create_directories(spool);
+
+    // Four jobs through one worker so the kill lands mid-sweep.
+    JsonValue doc = JsonValue::makeObject();
+    JsonValue arr = JsonValue::makeArray();
+    for (const char *vd : {"2", "4", "6", "8"})
+        arr.push(jobToJson(smallJob(vd)));
+    doc.set("jobs", std::move(arr));
+    const std::string spec = spool + "/sweep.json";
+    {
+        std::ofstream os(spec);
+        os << doc.toString(2) << "\n";
+    }
+
+    const std::vector<std::string> args = {
+        TENOC_SERVER_BIN, "--spool", spool,   "--once",
+        "--workers",      "1",       "--results", results};
+    const pid_t pid = spawnServer(args);
+    ASSERT_GT(pid, 0);
+
+    // Wait for the journal to record at least one finished job, then
+    // SIGKILL the server (no chance to clean up — that is the point).
+    const std::string journal_path = spec + ".journal";
+    bool saw_done = false;
+    for (int spin = 0; spin < 3000; ++spin) { // <= 60 s
+        if (slurp(journal_path).find("\"event\": \"done\"") !=
+                std::string::npos ||
+            slurp(journal_path).find("\"event\":\"done\"") !=
+                std::string::npos) {
+            saw_done = true;
+            break;
+        }
+        if (fs::exists(spec + ".done"))
+            break; // sweep outran us; restart still must be a no-op
+        timespec nap{0, 20'000'000};
+        nanosleep(&nap, nullptr);
+    }
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+
+    if (saw_done) {
+        // Mid-sweep state: spec still live, journal has progress.
+        EXPECT_TRUE(fs::exists(spec) || fs::exists(spec + ".done"));
+    }
+
+    // Restart: replays the journal, finishes what is missing.  A
+    // fresh scratch dir keeps the dead server's orphaned in-flight
+    // worker (if any) from racing the rerun on result files.
+    const std::vector<std::string> args2 = {
+        TENOC_SERVER_BIN, "--spool", spool, "--once",
+        "--workers",      "1",       "--results", results + "-2"};
+    const pid_t pid2 = spawnServer(args2);
+    ASSERT_GT(pid2, 0);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid2, &status, 0), pid2);
+    ASSERT_TRUE(WIFEXITED(status)) << status;
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+
+    EXPECT_TRUE(fs::exists(spec + ".done"));
+    EXPECT_FALSE(fs::exists(journal_path))
+        << "journal should be retired with its spec";
+    const std::string results_text =
+        slurp(spool + "/sweep.results.jsonl");
+    std::istringstream lines(results_text);
+    std::string line;
+    std::size_t rows = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        ++rows;
+        JsonValue row;
+        std::string err;
+        ASSERT_TRUE(JsonValue::parse(line, row, &err)) << err;
+        EXPECT_EQ(row.find("status")->asString(), "ok") << line;
+    }
+    EXPECT_EQ(rows, 4u);
+
+    fs::remove_all(spool);
+    fs::remove_all(results);
+    fs::remove_all(results + "-2");
+}
+
+} // namespace
+} // namespace tenoc::fleet
