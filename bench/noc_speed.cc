@@ -60,9 +60,33 @@ struct NullSink : PacketSink
  * scales the mesh (the threads sweep uses a larger mesh so per-phase
  * work amortizes the barriers).
  */
+/**
+ * Applies a `--topology` axis value to the network parameters:
+ * "mesh" (default), "torus" (wrap links + dateline dimension-order
+ * routing), or "cmesh" (4 terminals concentrated per router).
+ */
+void
+applyTopologyAxis(MeshNetworkParams &p, const std::string &topology)
+{
+    if (topology == "mesh")
+        return;
+    if (topology == "torus") {
+        p.topo.kind = TopoKind::TORUS;
+    } else if (topology == "cmesh") {
+        p.topo.concentration = 4;
+    } else {
+        std::fprintf(stderr,
+                     "noc_speed: unknown --topology '%s' "
+                     "(expected mesh, torus, or cmesh)\n",
+                     topology.c_str());
+        std::exit(1);
+    }
+}
+
 SpeedPoint
 runPoint(bool idle_skip, double load, Cycle cycles,
-         unsigned threads = 1, unsigned dim = 6)
+         unsigned threads = 1, unsigned dim = 6,
+         const std::string &topology = "mesh")
 {
     MeshNetworkParams p; // defaults = 6x6 Table III baseline
     p.idleSkip = idle_skip;
@@ -72,6 +96,7 @@ runPoint(bool idle_skip, double load, Cycle cycles,
         p.topo.cols = dim;
         p.topo.numMcs = dim;
     }
+    applyTopologyAxis(p, topology);
     MeshNetwork net(p);
     NullSink sink;
     const auto &topo = net.topology();
@@ -79,16 +104,21 @@ runPoint(bool idle_skip, double load, Cycle cycles,
         net.setSink(n, &sink);
 
     Rng rng(7);
+    const unsigned conc = topo.concentration();
     const auto t0 = std::chrono::steady_clock::now();
     for (Cycle now = 0; now < cycles; ++now) {
         for (NodeId core : topo.computeNodes()) {
-            if (rng.nextBool(load) && net.canInject(core, 0)) {
-                auto pkt = makePacket();
-                pkt->src = core;
-                pkt->dst = rng.pick(topo.mcNodes());
-                pkt->sizeFlits = 1;
-                pkt->sizeBytes = p.flitBytes;
-                net.inject(std::move(pkt), now);
+            // One Bernoulli draw per terminal: a concentrated router
+            // carries its full complement of cores' offered load.
+            for (unsigned s = 0; s < conc; ++s) {
+                if (rng.nextBool(load) && net.canInject(core, 0)) {
+                    auto pkt = makePacket();
+                    pkt->src = core;
+                    pkt->dst = rng.pick(topo.mcNodes());
+                    pkt->sizeFlits = 1;
+                    pkt->sizeBytes = p.flitBytes;
+                    net.inject(std::move(pkt), now);
+                }
             }
         }
         net.cycle(now);
@@ -232,7 +262,8 @@ runThreadsSweep(unsigned threads, double scale)
  * the router count so every point does comparable total work.
  */
 int
-runMeshSweep(bool huge, double scale, const std::string &compare_path);
+runMeshSweep(bool huge, double scale, const std::string &compare_path,
+             const std::string &topology);
 
 /**
  * Regression gate (`--compare baseline.json`): matches the measured
@@ -441,7 +472,8 @@ compareMeshBaseline(const std::string &path,
 }
 
 int
-runMeshSweep(bool huge, double scale, const std::string &compare_path)
+runMeshSweep(bool huge, double scale, const std::string &compare_path,
+             const std::string &topology)
 {
     using telemetry::JsonValue;
 
@@ -451,12 +483,14 @@ runMeshSweep(bool huge, double scale, const std::string &compare_path)
         dims.push_back(128);
 
     std::printf("noc_speed --mesh-sweep: %.2f flits/node/cycle, "
-                "8x8..%ux%u (scale %.2f)\n",
-                LOAD, dims.back(), dims.back(), scale);
+                "8x8..%ux%u %s (scale %.2f)\n",
+                LOAD, dims.back(), dims.back(), topology.c_str(),
+                scale);
 
     JsonValue doc = JsonValue::makeObject();
     doc.set("benchmark", JsonValue("noc_speed"));
     doc.set("mode", JsonValue("mesh_sweep"));
+    doc.set("topology", JsonValue(topology));
     doc.set("load", JsonValue(LOAD));
     doc.set("scale", JsonValue(scale));
     JsonValue points = JsonValue::makeArray();
@@ -468,7 +502,7 @@ runMeshSweep(bool huge, double scale, const std::string &compare_path)
                               (static_cast<double>(dim) * dim);
         const auto cycles =
             std::max<Cycle>(100, static_cast<Cycle>(budget));
-        const auto pt = runPoint(true, LOAD, cycles, 1, dim);
+        const auto pt = runPoint(true, LOAD, cycles, 1, dim, topology);
         const auto routers = static_cast<double>(dim) * dim;
         const double per_router = pt.cyclesPerSec * routers;
         rates.emplace_back(dim, per_router);
@@ -506,20 +540,24 @@ main(int argc, char **argv)
     // smoke tests; --threads-sweep [N] switches to the serial-vs-
     // parallel engine sweep (N cycle threads, default 8);
     // --mesh-sweep [--huge] to the 8x8..64x64 (..128x128) scaling
-    // sweep; --compare FILE gates on a prior BENCH_noc_speed.json of
-    // the same mode.
+    // sweep; --topology mesh|torus|cmesh changes the sweep's link
+    // structure; --compare FILE gates on a prior BENCH_noc_speed.json
+    // of the same mode.
     double scale = envScale(1.0);
     bool threads_sweep = false;
     bool mesh_sweep = false;
     bool mesh_huge = false;
     unsigned sweep_threads = 8;
     std::string compare_path;
+    std::string topology = "mesh";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--mesh-sweep") {
             mesh_sweep = true;
         } else if (arg == "--huge") {
             mesh_huge = true;
+        } else if (arg == "--topology" && i + 1 < argc) {
+            topology = argv[++i];
         } else if (arg == "--threads-sweep") {
             threads_sweep = true;
             if (i + 1 < argc) {
@@ -538,7 +576,7 @@ main(int argc, char **argv)
         }
     }
     if (mesh_sweep)
-        return runMeshSweep(mesh_huge, scale, compare_path);
+        return runMeshSweep(mesh_huge, scale, compare_path, topology);
     if (threads_sweep)
         return runThreadsSweep(sweep_threads, scale);
     const auto low_cycles =

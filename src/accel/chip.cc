@@ -24,17 +24,31 @@ namespace tenoc
 class Chip::CorePort : public CoreMemPort
 {
   public:
-    CorePort(Chip &chip, NodeId node) : chip_(chip), node_(node) {}
+    /**
+     * @param slot core slot behind `node` (0 on an unconcentrated
+     *        topology); stamped into each request's tag so MC replies
+     *        demux back to the right core
+     * @param node_deferred per-node deferred-request counter shared by
+     *        all slots of `node`
+     */
+    CorePort(Chip &chip, NodeId node, unsigned slot,
+             unsigned *node_deferred)
+        : chip_(chip), node_(node), slot_(slot),
+          node_deferred_(node_deferred)
+    {}
 
     bool
     canSendRequests(unsigned n) const override
     {
         // Deferred requests still occupy their injection-queue slots
-        // once replayed, so count them against the space now.  Exact:
-        // each core has its own node and NI, so nothing else consumes
-        // this queue while the core sweep runs.
+        // once replayed, so count them against the space now.  The
+        // counter is shared by every core slot behind this node, and
+        // a node's slots are swept in ascending order on one worker
+        // (Chip::coreTick shards by node group), so the count a later
+        // slot observes here equals exactly what serial immediate
+        // injection would already have consumed.
         return chip_.net_->injectSpace(node_, 0) >=
-            n + static_cast<unsigned>(deferred_.size());
+            n + *node_deferred_;
     }
 
     void
@@ -61,6 +75,7 @@ class Chip::CorePort : public CoreMemPort
     {
         for (const auto &[op, line] : deferred_)
             sendNow(op, line);
+        *node_deferred_ -= static_cast<unsigned>(deferred_.size());
         deferred_.clear();
     }
 
@@ -70,6 +85,7 @@ class Chip::CorePort : public CoreMemPort
     {
         if (defer_) {
             deferred_.emplace_back(op, line);
+            ++*node_deferred_;
             return;
         }
         sendNow(op, line);
@@ -83,6 +99,7 @@ class Chip::CorePort : public CoreMemPort
         pkt->op = op;
         pkt->protoClass = 0;
         pkt->addr = line;
+        pkt->tag = slot_; // reply demux key at a concentrated node
         pkt->sizeFlits = chip_.net_->packetFlits(op);
         pkt->sizeBytes = memOpBytes(op);
         const unsigned mc = channelOf(line, chip_.params_.mc.numChannels,
@@ -93,15 +110,21 @@ class Chip::CorePort : public CoreMemPort
 
     Chip &chip_;
     NodeId node_;
+    unsigned slot_;
+    unsigned *node_deferred_;
     bool defer_ = false;
     std::vector<std::pair<MemOp, Addr>> deferred_;
 };
 
-/** Core-side packet sink: read replies wake waiting warps. */
+/** Core-side packet sink: read replies wake waiting warps.  One sink
+ *  per compute node; the reply's tag (the requesting slot index, set
+ *  by CorePort and echoed by the MC) picks the core behind the node. */
 class Chip::CoreSink : public PacketSink
 {
   public:
-    explicit CoreSink(SimtCore &core) : core_(core) {}
+    explicit CoreSink(std::vector<SimtCore *> slots)
+        : slots_(std::move(slots))
+    {}
 
     bool
     tryReserve(const Packet &pkt) override
@@ -116,11 +139,13 @@ class Chip::CoreSink : public PacketSink
         (void)now;
         tenoc_assert(pkt->op == MemOp::READ_REPLY,
                      "core received a non-reply packet");
-        core_.onReadReply(pkt->addr);
+        tenoc_assert(pkt->tag < slots_.size(), "reply tag ", pkt->tag,
+                     " has no core slot at this node");
+        slots_[pkt->tag]->onReadReply(pkt->addr);
     }
 
   private:
-    SimtCore &core_;
+    std::vector<SimtCore *> slots_;
 };
 
 Chip::Chip(const ChipParams &params, const KernelProfile &profile,
@@ -154,24 +179,38 @@ Chip::Chip(const ChipParams &params, const KernelProfile &profile,
         ++mc_index;
     }
 
-    // Compute cores.
+    // Compute cores: `concentration` core slots share each compute
+    // node.  A slot injects with its index as the packet tag and the
+    // node's single sink demuxes replies by that tag.
     core_nodes_ = topo.computeNodes();
+    core_conc_ = topo.concentration();
+    node_deferred_.assign(core_nodes_.size(), 0);
     unsigned core_id = 0;
-    for (NodeId n : core_nodes_) {
-        ports_.push_back(std::make_unique<CorePort>(*this, n));
-        cores_.push_back(std::make_unique<SimtCore>(
-            core_id, params_.core, profile_, *ports_.back(),
-            params_.seed, factory ? factory(core_id) : nullptr));
-        sinks_.push_back(std::make_unique<CoreSink>(*cores_.back()));
+    for (std::size_t g = 0; g < core_nodes_.size(); ++g) {
+        const NodeId n = core_nodes_[g];
+        std::vector<SimtCore *> slots;
+        for (unsigned k = 0; k < core_conc_; ++k) {
+            ports_.push_back(std::make_unique<CorePort>(
+                *this, n, k, &node_deferred_[g]));
+            cores_.push_back(std::make_unique<SimtCore>(
+                core_id, params_.core, profile_, *ports_.back(),
+                params_.seed, factory ? factory(core_id) : nullptr));
+            slots.push_back(cores_.back().get());
+            ++core_id;
+        }
+        sinks_.push_back(std::make_unique<CoreSink>(std::move(slots)));
         net_->setSink(n, sinks_.back().get());
-        ++core_id;
     }
 
     // Parallel core sweep (see docs/performance.md): same thread
-    // budget as the network's cycle engine.
+    // budget as the network's cycle engine.  Sharding is by node
+    // group, never splitting a node's slots across workers, so the
+    // shared deferred-request counters are raced by no one and later
+    // slots observe earlier slots' claims exactly as the serial sweep
+    // would.
     core_threads_ = std::max(1u, std::min<unsigned>(
         parallel::resolveCycleThreads(params_.mesh.cycleThreads),
-        static_cast<unsigned>(cores_.size())));
+        static_cast<unsigned>(core_nodes_.size())));
     if (core_threads_ > 1) {
         for (auto &p : ports_)
             p->setDeferred(true);
@@ -317,12 +356,15 @@ Chip::coreTick()
         // Cores are independent within one core-clock edge (replies
         // arrive from icntTick, not here); their memory requests
         // buffer in the CorePorts and replay below in core order.
-        const auto n = static_cast<unsigned>(cores_.size());
+        // Shards cover whole node groups so slots sharing a node's
+        // deferred counter run on one worker, in ascending order.
+        const auto groups = static_cast<unsigned>(core_nodes_.size());
         parallel::parallelFor(core_threads_, [&](unsigned s) {
             const auto [lo, hi] =
-                parallel::shardRange(s, n, core_threads_);
-            for (unsigned i = lo; i < hi; ++i)
-                cores_[i]->cycle(core_now_);
+                parallel::shardRange(s, groups, core_threads_);
+            for (unsigned g = lo; g < hi; ++g)
+                for (unsigned k = 0; k < core_conc_; ++k)
+                    cores_[g * core_conc_ + k]->cycle(core_now_);
         });
         for (auto &p : ports_)
             p->flushDeferred();

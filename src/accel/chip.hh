@@ -171,6 +171,12 @@ class Chip
     std::vector<std::unique_ptr<CoreSink>> sinks_;
     std::vector<std::unique_ptr<McNode>> mcs_;
     std::vector<NodeId> core_nodes_;
+    /** Core slots per compute node (topology concentration). */
+    unsigned core_conc_ = 1;
+    /** Per-compute-node deferred-request counts, shared by the node's
+     *  CorePorts so concentrated slots see each other's queued claims
+     *  on the injection queue (exactness of canSendRequests). */
+    std::vector<unsigned> node_deferred_;
 
     ClockDomainSet clocks_;
     ClockDomainSet::DomainId core_dom_ = 0;

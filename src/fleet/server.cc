@@ -246,6 +246,16 @@ FleetServer::runJobs(const std::vector<JobSpec> &jobs,
         s.timeout = job.timeoutSeconds != 0
                         ? job.timeoutSeconds
                         : opts_.defaultTimeoutSeconds;
+        // A previous server process may have left files at this
+        // slot's paths (the sequence counter restarts at 0 in a new
+        // results dir reuse): a stale checkpoint must never be
+        // resumed by a run that did not write it — it can even be
+        // from an incompatible snapshot format — and stale
+        // watchdog/result files would taint the retry and harvest
+        // decisions.
+        fs::remove(s.outFile);
+        fs::remove(s.watchdogFile);
+        fs::remove(s.ckptFile);
         {
             std::ofstream os(s.jobFile);
             if (!os)

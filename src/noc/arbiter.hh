@@ -72,6 +72,53 @@ class RoundRobinArbiter
             at_or_after ? at_or_after : requests));
     }
 
+    /**
+     * Multi-word bitmask grant: identical result to grant() with
+     * requests packed into bit (i % 64) of words[i / 64].  The scan is
+     * O(words) via count-trailing-zeros: lowest set bit at or after
+     * the pointer, else lowest set bit overall.  This is the wide
+     * companion of grantMask() for requestor counts above 64
+     * (concentrated / high-radix routers); callers must zero any bits
+     * at or above size().
+     *
+     * @param words  request bits, `nwords` words covering size() bits
+     * @param nwords word count; nwords * 64 must cover size()
+     * @return winning index, or size() if no requests
+     */
+    unsigned
+    grantWords(const std::uint64_t *words, unsigned nwords) const
+    {
+        tenoc_assert(static_cast<std::uint64_t>(nwords) * 64 >= size_,
+                     "grantWords needs ", (size_ + 63) / 64,
+                     " words for ", size_, " requestors, got ", nwords);
+        if (size_ == 0)
+            return 0;
+        const unsigned pw = pointer_ >> 6;
+        const unsigned pb = pointer_ & 63;
+        // At or after the pointer first (rotating priority)...
+        std::uint64_t w = words[pw] & (~std::uint64_t{0} << pb);
+        if (w != 0)
+            return pw * 64 + static_cast<unsigned>(std::countr_zero(w));
+        for (unsigned i = pw + 1; i < nwords; ++i) {
+            if (words[i] != 0) {
+                return i * 64 +
+                       static_cast<unsigned>(std::countr_zero(words[i]));
+            }
+        }
+        // ...then wrap around to the lowest set bit before it.
+        for (unsigned i = 0; i < pw; ++i) {
+            if (words[i] != 0) {
+                return i * 64 +
+                       static_cast<unsigned>(std::countr_zero(words[i]));
+            }
+        }
+        w = pb == 0 ? 0
+                    : words[pw] & ~(~std::uint64_t{0} << pb);
+        if (w != 0)
+            return pw * 64 + static_cast<unsigned>(std::countr_zero(w));
+        return size_;
+    }
+
     /** Advances priority past `winner` (call when grant is accepted). */
     void
     accept(unsigned winner)

@@ -61,9 +61,14 @@ Router::initPorts()
     mask_alloc_ = numInputs() * vcs <= 64;
     va_out_reqs_.resize(numOutputs());
     sa_out_mask_.resize(numOutputs());
-    va_requests_.resize(numInputs() * vcs);
-    sa_vc_requests_.resize(vcs);
-    sa_out_requests_.resize(numInputs());
+    va_words_ = (numInputs() * vcs + 63) / 64;
+    vc_words_ = (vcs + 63) / 64;
+    in_words_ = (numInputs() + 63) / 64;
+    if (!mask_alloc_) {
+        va_wide_reqs_.resize(numOutputs() * va_words_);
+        sa_vc_words_.resize(vc_words_);
+        sa_out_words_.resize(numOutputs() * in_words_);
+    }
     sa_nominee_.resize(numInputs());
     for (unsigned o = 0; o < numOutputs(); ++o) {
         outputs_[o].vaArb.resize(numInputs() * vcs);
@@ -206,8 +211,8 @@ Router::routeCompute(Cycle now)
             }
             tenoc_assert(connectivityAllows(in, out),
                          "illegal turn at ", params_.half ? "half" :
-                         "full", "-router ", id_, ": in=", dirName(in),
-                         " out=", dirName(out));
+                         "full", "-router ", id_, ": in=",
+                         inputPortName(in), " out=", outputPortName(out));
             port.setOutPort(vc, out);
             // The packet is already hot here; caching its VC-class base
             // spares VC allocation the pointer chase entirely.
@@ -292,42 +297,38 @@ Router::vcAllocateWide(Cycle now)
     const unsigned n = numInputs() * vcs;
     const VcState *st = slab_->inState.data() + in_base_;
     const std::uint32_t *op = slab_->inOutPort.data() + in_base_;
-    // Early-out: without a VC in VC_ALLOC the stage is a no-op.  The
-    // output bitmap (o & 63) may alias when >64 outputs exist, which
-    // only ever *adds* candidate outputs, never skips a live one.
-    std::uint64_t out_mask = 0;
+    // One contiguous pass builds the per-output requestor word arrays
+    // (bit i of output o's set = input VC i wants o) — the same
+    // request sets as the single-word fast path, just spread over
+    // va_words_ words per output.
+    std::fill(va_wide_reqs_.begin(), va_wide_reqs_.end(), 0);
+    bool any = false;
     for (unsigned i = 0; i < n; ++i) {
-        if (st[i] == VcState::VC_ALLOC)
-            out_mask |= std::uint64_t{1} << (op[i] & 63);
+        if (st[i] == VcState::VC_ALLOC) {
+            va_wide_reqs_[op[i] * va_words_ + (i >> 6)] |=
+                std::uint64_t{1} << (i & 63);
+            any = true;
+        }
     }
-    if (out_mask == 0)
+    if (!any)
         return;
-    auto &requests = va_requests_;
     for (unsigned o = 0; o < numOutputs(); ++o) {
-        if (o < 64 && !(out_mask >> o & 1))
+        std::uint64_t *reqs = va_wide_reqs_.data() + o * va_words_;
+        std::uint64_t live = 0;
+        for (unsigned w = 0; w < va_words_; ++w)
+            live |= reqs[w];
+        if (live == 0)
             continue;
         auto &out = outputs_[o];
-        // Collect requestors targeting this output.
-        requests.assign(n, false);
-        bool any = false;
-        for (unsigned i = 0; i < n; ++i) {
-            if (st[i] == VcState::VC_ALLOC && op[i] == o) {
-                requests[i] = true;
-                any = true;
-            }
-        }
-        if (!any)
-            continue;
         // Grant output VCs in round-robin requestor order until the
         // eligible VCs run out.
         while (true) {
-            const unsigned idx = out.vaArb.grant(requests);
-            if (idx >= requests.size())
+            const unsigned idx = out.vaArb.grantWords(reqs, va_words_);
+            if (idx >= n)
                 break;
             const unsigned in = idx / vcs;
             const unsigned vc = idx % vcs;
-            const Packet &pkt = *inputs_[in].front(vc).pkt;
-            const unsigned base = params_.vcMap.baseVc(pkt);
+            const unsigned base = inputs_[in].baseVc(vc);
             unsigned granted = vcs;
             for (unsigned l = 0; l < params_.vcMap.vcsPerClass; ++l) {
                 const unsigned cand = base + l;
@@ -336,7 +337,7 @@ Router::vcAllocateWide(Cycle now)
                     break;
                 }
             }
-            requests[idx] = false;
+            reqs[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
             if (granted == vcs) {
                 // No eligible VC free; the requestor retries next
                 // cycle.  Other requestors may still want different
@@ -350,8 +351,11 @@ Router::vcAllocateWide(Cycle now)
             inputs_[in].setOutVc(vc, granted);
             inputs_[in].setState(vc, VcState::ACTIVE);
             out.vaArb.accept(idx);
-            if (tracer_ && tracer_->wants(pkt.id))
-                tracer_->instant("va", id_, pkt.id, now);
+            if (tracer_) {
+                const Packet &pkt = *inputs_[in].front(vc).pkt;
+                if (tracer_->wants(pkt.id))
+                    tracer_->instant("va", id_, pkt.id, now);
+            }
         }
     }
 }
@@ -511,15 +515,19 @@ Router::switchAllocateWide(Cycle now)
         if (!eligible)
             return;
     }
-    // Input stage: each input port nominates one ready VC.
+    // Input stage: each input port nominates one ready VC.  The
+    // eligibility set lives in a word array so the arbiter grant is
+    // O(words) (RoundRobinArbiter::grantWords), not an O(vcs) scan.
     auto &nominee = sa_nominee_;
     nominee.assign(numInputs(), vcs);
-    auto &requests = sa_vc_requests_;
+    std::fill(sa_out_words_.begin(), sa_out_words_.end(), 0);
+    bool any_nominee = false;
     for (unsigned in = 0; in < numInputs(); ++in) {
-        requests.assign(vcs, false);
+        auto &port = inputs_[in];
+        std::uint64_t *elig = sa_vc_words_.data();
+        std::fill(sa_vc_words_.begin(), sa_vc_words_.end(), 0);
         bool any = false;
         for (unsigned vc = 0; vc < vcs; ++vc) {
-            auto &port = inputs_[in];
             if (port.state(vc) != VcState::ACTIVE || port.empty(vc))
                 continue;
             const Flit &f = port.front(vc);
@@ -538,56 +546,61 @@ Router::switchAllocateWide(Cycle now)
                 if (slab_->outCredits[ov(o, port.outVc(vc))] == 0)
                     continue;
             }
-            requests[vc] = true;
+            elig[vc >> 6] |= std::uint64_t{1} << (vc & 63);
             any = true;
         }
         if (!any)
             continue;
+        unsigned win = vcs;
         if (params_.agePriority) {
             Cycle best = INVALID_CYCLE;
-            for (unsigned vc = 0; vc < vcs; ++vc) {
-                if (!requests[vc])
-                    continue;
-                const Cycle age = packetAge(inputs_[in].front(vc));
-                if (nominee[in] == vcs || age < best) {
-                    best = age;
-                    nominee[in] = vc;
+            for (unsigned w = 0; w < vc_words_; ++w) {
+                for (std::uint64_t m = elig[w]; m != 0; m &= m - 1) {
+                    const unsigned vc = w * 64 +
+                        static_cast<unsigned>(std::countr_zero(m));
+                    const Cycle age = packetAge(port.front(vc));
+                    if (win == vcs || age < best) {
+                        best = age;
+                        win = vc;
+                    }
                 }
             }
         } else {
-            nominee[in] = sa_input_arb_[in].grant(requests);
+            win = sa_input_arb_[in].grantWords(elig, vc_words_);
         }
+        nominee[in] = win;
+        sa_out_words_[port.outPort(win) * in_words_ + (in >> 6)] |=
+            std::uint64_t{1} << (in & 63);
+        any_nominee = true;
     }
+    if (!any_nominee)
+        return;
 
     // Output stage: one winner per output port.
-    auto &out_requests = sa_out_requests_;
     for (unsigned o = 0; o < numOutputs(); ++o) {
-        out_requests.assign(numInputs(), false);
-        bool any = false;
-        for (unsigned in = 0; in < numInputs(); ++in) {
-            if (nominee[in] < vcs &&
-                inputs_[in].outPort(nominee[in]) == o) {
-                out_requests[in] = true;
-                any = true;
-            }
-        }
-        if (!any)
+        const std::uint64_t *reqs = sa_out_words_.data() + o * in_words_;
+        std::uint64_t live = 0;
+        for (unsigned w = 0; w < in_words_; ++w)
+            live |= reqs[w];
+        if (live == 0)
             continue;
         unsigned in = numInputs();
         if (params_.agePriority) {
             Cycle best = INVALID_CYCLE;
-            for (unsigned cand = 0; cand < numInputs(); ++cand) {
-                if (!out_requests[cand])
-                    continue;
-                const Cycle age =
-                    packetAge(inputs_[cand].front(nominee[cand]));
-                if (in == numInputs() || age < best) {
-                    best = age;
-                    in = cand;
+            for (unsigned w = 0; w < in_words_; ++w) {
+                for (std::uint64_t m = reqs[w]; m != 0; m &= m - 1) {
+                    const unsigned cand = w * 64 +
+                        static_cast<unsigned>(std::countr_zero(m));
+                    const Cycle age =
+                        packetAge(inputs_[cand].front(nominee[cand]));
+                    if (in == numInputs() || age < best) {
+                        best = age;
+                        in = cand;
+                    }
                 }
             }
         } else {
-            in = outputs_[o].saArb.grant(out_requests);
+            in = outputs_[o].saArb.grantWords(reqs, in_words_);
         }
         if (in >= numInputs())
             continue;

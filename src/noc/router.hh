@@ -287,8 +287,11 @@ class Router
 
     // Fallback allocators for geometries whose requestor counts exceed
     // 64 (so per-stage request state cannot pack into one word); the
-    // mask fast paths in vcAllocate/switchAllocate produce identical
-    // grants (see RoundRobinArbiter::grantMask).
+    // request sets live in uint64 word-mask arrays and grants come
+    // from RoundRobinArbiter::grantWords, so concentrated/high-radix
+    // routers keep O(words) arbitration instead of falling back to
+    // vector<bool> scans.  Produces grants identical to the mask fast
+    // paths in vcAllocate/switchAllocate.
     void vcAllocateWide(Cycle now);
     void switchAllocateWide(Cycle now);
 
@@ -357,9 +360,16 @@ class Router
     bool mask_alloc_ = true;
     std::vector<std::uint64_t> va_out_reqs_; ///< per-output VA masks
     std::vector<std::uint64_t> sa_out_mask_; ///< per-output SA masks
-    std::vector<bool> va_requests_;   ///< numInputs * vcs (wide path)
-    std::vector<bool> sa_vc_requests_; ///< vcs (wide SA input stage)
-    std::vector<bool> sa_out_requests_; ///< numInputs (wide SA output)
+    // Wide-path word geometry (requestor counts above 64).
+    unsigned va_words_ = 1; ///< words per input-VC request set
+    unsigned vc_words_ = 1; ///< words per per-input VC set
+    unsigned in_words_ = 1; ///< words per input-port set
+    /** Per-output VA requestor words: numOutputs * va_words_. */
+    std::vector<std::uint64_t> va_wide_reqs_;
+    /** Wide SA input-stage eligibility words: vc_words_. */
+    std::vector<std::uint64_t> sa_vc_words_;
+    /** Per-output wide SA requestor words: numOutputs * in_words_. */
+    std::vector<std::uint64_t> sa_out_words_;
     std::vector<unsigned> sa_nominee_; ///< per input port
 };
 

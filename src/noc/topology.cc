@@ -24,7 +24,33 @@ dirName(unsigned d)
       case DIR_SOUTH: return "S";
       case PORT_EJECT: return "EJ";
     }
-    return "?";
+    // Indices above PORT_EJECT are side-dependent local ports; naming
+    // them here would mislabel (input 4 is an injection port, output 4
+    // an ejection port).  Same masking pattern as the old opposite().
+    tenoc_panic("dirName() of non-direction port index ", d,
+                "; use inputPortName()/outputPortName()");
+}
+
+std::string
+inputPortName(unsigned in)
+{
+    if (in < NUM_DIRS)
+        return dirName(in);
+    return "INJ" + std::to_string(in - NUM_DIRS);
+}
+
+std::string
+outputPortName(unsigned out)
+{
+    if (out < NUM_DIRS)
+        return dirName(out);
+    return "EJ" + std::to_string(out - NUM_DIRS);
+}
+
+const char *
+topoKindName(TopoKind kind)
+{
+    return kind == TopoKind::TORUS ? "torus" : "mesh";
 }
 
 std::vector<std::pair<unsigned, unsigned>>
@@ -48,6 +74,15 @@ Topology::Topology(const TopologyParams &params) : params_(params)
                     " must leave at least one compute node on a ",
                     params_.rows, "x", params_.cols, " mesh (", n,
                     " nodes total)");
+    }
+    if (params_.concentration < 1) {
+        tenoc_fatal("invalid topology: concentration must be >= 1"
+                    " (1 = one terminal per router)");
+    }
+    if (params_.kind == TopoKind::TORUS && params_.checkerboardRouters) {
+        tenoc_fatal("invalid topology: checkerboard half-routers are a"
+                    " mesh organization (Sec. IV-A); the torus uses"
+                    " full routers with dateline VC classes instead");
     }
     is_mc_.assign(n, false);
     is_half_.assign(n, false);
@@ -179,20 +214,31 @@ Topology::validate() const
     }
 }
 
+// neighbor() wraps coordinates modulo the dimension on a torus (the
+// wrapNoCCoord idiom): stepping west from x=0 lands at x=cols-1, etc.
 NodeId
 Topology::neighbor(NodeId n, Direction d) const
 {
     const unsigned x = xOf(n);
     const unsigned y = yOf(n);
+    const bool wrap = isTorus();
     switch (d) {
       case DIR_WEST:
-        return x == 0 ? INVALID_NODE : nodeAt(x - 1, y);
+        if (x == 0)
+            return wrap ? nodeAt(params_.cols - 1, y) : INVALID_NODE;
+        return nodeAt(x - 1, y);
       case DIR_EAST:
-        return x == params_.cols - 1 ? INVALID_NODE : nodeAt(x + 1, y);
+        if (x == params_.cols - 1)
+            return wrap ? nodeAt(0, y) : INVALID_NODE;
+        return nodeAt(x + 1, y);
       case DIR_NORTH:
-        return y == 0 ? INVALID_NODE : nodeAt(x, y - 1);
+        if (y == 0)
+            return wrap ? nodeAt(x, params_.rows - 1) : INVALID_NODE;
+        return nodeAt(x, y - 1);
       case DIR_SOUTH:
-        return y == params_.rows - 1 ? INVALID_NODE : nodeAt(x, y + 1);
+        if (y == params_.rows - 1)
+            return wrap ? nodeAt(x, 0) : INVALID_NODE;
+        return nodeAt(x, y + 1);
       default:
         return INVALID_NODE;
     }
@@ -228,9 +274,15 @@ renderTopology(const Topology &topo)
 unsigned
 Topology::hopDistance(NodeId a, NodeId b) const
 {
-    const int dx = static_cast<int>(xOf(a)) - static_cast<int>(xOf(b));
-    const int dy = static_cast<int>(yOf(a)) - static_cast<int>(yOf(b));
-    return static_cast<unsigned>(std::abs(dx) + std::abs(dy));
+    const unsigned dx = static_cast<unsigned>(std::abs(
+        static_cast<int>(xOf(a)) - static_cast<int>(xOf(b))));
+    const unsigned dy = static_cast<unsigned>(std::abs(
+        static_cast<int>(yOf(a)) - static_cast<int>(yOf(b))));
+    if (!isTorus())
+        return dx + dy;
+    // Per-dimension shortest way around the ring.
+    return std::min(dx, params_.cols - dx) +
+           std::min(dy, params_.rows - dy);
 }
 
 } // namespace tenoc
