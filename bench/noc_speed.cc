@@ -43,7 +43,14 @@ struct SpeedPoint
     double wallSeconds = 0.0;
     double cyclesPerSec = 0.0;
     double hopsPerSec = 0.0;
+    /** Per-phase wall-time breakdown (--profile); cycles == 0 when
+     *  profiling was off for this point. */
+    PhaseProfile profile;
 };
+
+/** --profile: attach a PhaseProfile to every measured network and
+ *  emit the per-phase breakdown alongside each point. */
+bool g_profile = false;
 
 /** Discards ejected packets without backpressure. */
 struct NullSink : PacketSink
@@ -98,6 +105,9 @@ runPoint(bool idle_skip, double load, Cycle cycles,
     }
     applyTopologyAxis(p, topology);
     MeshNetwork net(p);
+    PhaseProfile profile;
+    if (g_profile)
+        net.setPhaseProfile(&profile);
     NullSink sink;
     const auto &topo = net.topology();
     for (NodeId n = 0; n < topo.numNodes(); ++n)
@@ -137,7 +147,27 @@ runPoint(bool idle_skip, double load, Cycle cycles,
         pt.cyclesPerSec = static_cast<double>(cycles) / pt.wallSeconds;
         pt.hopsPerSec = static_cast<double>(pt.hops) / pt.wallSeconds;
     }
+    pt.profile = profile;
     return pt;
+}
+
+void
+printProfile(const PhaseProfile &pr)
+{
+    if (pr.cycles == 0)
+        return;
+    const double total = static_cast<double>(
+        pr.readInputsNs + pr.injectNs + pr.computeNs + pr.drainNs +
+        pr.bookkeepingNs);
+    const auto pct = [&](std::uint64_t ns) {
+        return total > 0.0 ? 100.0 * static_cast<double>(ns) / total
+                           : 0.0;
+    };
+    std::printf("    phases: readInputs %.1f%%  inject %.1f%%  "
+                "compute %.1f%%  drain %.1f%%  bookkeeping %.1f%%\n",
+                pct(pr.readInputsNs), pct(pr.injectNs),
+                pct(pr.computeNs), pct(pr.drainNs),
+                pct(pr.bookkeepingNs));
 }
 
 telemetry::JsonValue
@@ -154,6 +184,17 @@ pointJson(const SpeedPoint &pt)
     v.set("wall_seconds", JsonValue(pt.wallSeconds));
     v.set("icnt_cycles_per_second", JsonValue(pt.cyclesPerSec));
     v.set("flit_hops_per_second", JsonValue(pt.hopsPerSec));
+    if (pt.profile.cycles != 0) {
+        const PhaseProfile &pr = pt.profile;
+        JsonValue prof = JsonValue::makeObject();
+        prof.set("cycles", JsonValue(pr.cycles));
+        prof.set("read_inputs_ns", JsonValue(pr.readInputsNs));
+        prof.set("inject_ns", JsonValue(pr.injectNs));
+        prof.set("compute_ns", JsonValue(pr.computeNs));
+        prof.set("drain_ns", JsonValue(pr.drainNs));
+        prof.set("bookkeeping_ns", JsonValue(pr.bookkeepingNs));
+        v.set("phase_profile", prof);
+    }
     return v;
 }
 
@@ -164,6 +205,7 @@ printPoint(const char *label, const SpeedPoint &pt)
                 "(%.2fs wall)\n",
                 label, pt.idleSkip ? "idle-skip" : "full-tick",
                 pt.cyclesPerSec, pt.hopsPerSec, pt.wallSeconds);
+    printProfile(pt.profile);
 }
 
 /**
@@ -365,18 +407,27 @@ compareBaseline(const std::string &path,
     return 0;
 }
 
+/** One measured mesh-sweep row: (dim, load) keys a baseline point. */
+struct MeshRate
+{
+    unsigned dim;
+    double load;
+    double perRouter;
+};
+
 /**
- * Mesh-sweep regression gate: matches baseline points on `dim` and
- * fails when `cycles_per_sec_per_router` dropped more than the
+ * Mesh-sweep regression gate: matches baseline points on (dim, load)
+ * and fails when `cycles_per_sec_per_router` dropped more than the
  * tolerance (TENOC_SPEED_TOLERANCE, default 15%).  Small meshes are
  * noisy in shared-runner CI, so only dims at or above the gate dim
  * (TENOC_MESH_GATE_DIM, default 32) fail the run; smaller points are
- * reported informationally.
+ * reported informationally.  Baselines written before the high-load
+ * row existed carry no `load` field; those legacy points only match
+ * the default low-load rows.
  */
 int
 compareMeshBaseline(const std::string &path,
-                    const std::vector<std::pair<unsigned, double>>
-                        &current)
+                    const std::vector<MeshRate> &current)
 {
     using telemetry::JsonValue;
 
@@ -421,21 +472,26 @@ compareMeshBaseline(const std::string &path,
                 path.c_str(), tolerance * 100.0, gate_dim);
     int failures = 0;
     unsigned matched = 0;
-    for (const auto &[dim, rate] : current) {
+    for (const auto &[dim, load, rate] : current) {
         const JsonValue *base = nullptr;
         for (const JsonValue &bp : points->asArray()) {
             if (!bp.isObject())
                 continue;
             const JsonValue *bdim = bp.find("dim");
-            if (bdim && bdim->isNumber() &&
-                static_cast<unsigned>(bdim->asNumber()) == dim) {
-                base = &bp;
-                break;
-            }
+            if (!bdim || !bdim->isNumber() ||
+                static_cast<unsigned>(bdim->asNumber()) != dim)
+                continue;
+            const JsonValue *bload = bp.find("load");
+            if (!bload || !bload->isNumber() ||
+                bload->asNumber() != load)
+                continue;
+            base = &bp;
+            break;
         }
         if (!base) {
-            std::printf("  %3ux%-3u: no baseline point, skipped\n",
-                        dim, dim);
+            std::printf("  %3ux%-3u @%.2f: no baseline point, "
+                        "skipped\n",
+                        dim, dim, load);
             continue;
         }
         const JsonValue *brate = base->find("cycles_per_sec_per_router");
@@ -445,9 +501,9 @@ compareMeshBaseline(const std::string &path,
         const double ratio = rate / brate->asNumber();
         const bool gated = dim >= gate_dim;
         const bool bad = gated && ratio < 1.0 - tolerance;
-        std::printf("  %3ux%-3u: %.3e vs %.3e router-cycles/s "
+        std::printf("  %3ux%-3u @%.2f: %.3e vs %.3e router-cycles/s "
                     "(%+.1f%%)%s%s\n",
-                    dim, dim, rate, brate->asNumber(),
+                    dim, dim, load, rate, brate->asNumber(),
                     (ratio - 1.0) * 100.0,
                     gated ? "" : "  [informational]",
                     bad ? "  REGRESSION" : "");
@@ -477,15 +533,20 @@ runMeshSweep(bool huge, double scale, const std::string &compare_path,
 {
     using telemetry::JsonValue;
 
+    // Low-load scaling row at every dim, plus one saturated row
+    // (0.4 flits/node/cycle) at the gate dim: low load exercises the
+    // sleep-until-arrival scheduler, saturation the allocator and NI
+    // hot paths — a regression in either shows up in its own row.
     const double LOAD = 0.1;
+    const double HIGH_LOAD = 0.4;
     std::vector<unsigned> dims = {8, 16, 32, 64};
     if (huge)
         dims.push_back(128);
 
     std::printf("noc_speed --mesh-sweep: %.2f flits/node/cycle, "
-                "8x8..%ux%u %s (scale %.2f)\n",
+                "8x8..%ux%u %s (scale %.2f), plus %.2f at 64x64\n",
                 LOAD, dims.back(), dims.back(), topology.c_str(),
-                scale);
+                scale, HIGH_LOAD);
 
     JsonValue doc = JsonValue::makeObject();
     doc.set("benchmark", JsonValue("noc_speed"));
@@ -494,23 +555,28 @@ runMeshSweep(bool huge, double scale, const std::string &compare_path,
     doc.set("load", JsonValue(LOAD));
     doc.set("scale", JsonValue(scale));
     JsonValue points = JsonValue::makeArray();
-    std::vector<std::pair<unsigned, double>> rates;
-    for (const unsigned dim : dims) {
+    std::vector<MeshRate> rates;
+    std::vector<std::pair<unsigned, double>> rows;
+    for (const unsigned dim : dims)
+        rows.emplace_back(dim, LOAD);
+    rows.emplace_back(64, HIGH_LOAD);
+    for (const auto &[dim, load] : rows) {
         // Constant total router-cycles per point: the 64x64 budget of
         // 2000 cycles scales up as the mesh shrinks.
         const double budget = 2000.0 * scale * (64.0 * 64.0) /
                               (static_cast<double>(dim) * dim);
         const auto cycles =
             std::max<Cycle>(100, static_cast<Cycle>(budget));
-        const auto pt = runPoint(true, LOAD, cycles, 1, dim, topology);
+        const auto pt = runPoint(true, load, cycles, 1, dim, topology);
         const auto routers = static_cast<double>(dim) * dim;
         const double per_router = pt.cyclesPerSec * routers;
-        rates.emplace_back(dim, per_router);
-        std::printf("  %3ux%-3u %8llu cycles %12.3e cycles/s "
+        rates.push_back(MeshRate{dim, load, per_router});
+        std::printf("  %3ux%-3u @%.2f %8llu cycles %12.3e cycles/s "
                     "%12.3e router-cycles/s (%.2fs wall)\n",
-                    dim, dim,
+                    dim, dim, load,
                     static_cast<unsigned long long>(pt.cycles),
                     pt.cyclesPerSec, per_router, pt.wallSeconds);
+        printProfile(pt.profile);
 
         JsonValue v = pointJson(pt);
         v.set("dim", JsonValue(std::uint64_t{dim}));
@@ -554,6 +620,8 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--mesh-sweep") {
             mesh_sweep = true;
+        } else if (arg == "--profile") {
+            g_profile = true;
         } else if (arg == "--huge") {
             mesh_huge = true;
         } else if (arg == "--topology" && i + 1 < argc) {

@@ -19,6 +19,7 @@
 #include "common/snapshot.hh"
 #include "common/types.hh"
 #include "noc/activity.hh"
+#include "noc/arrival.hh"
 
 namespace tenoc
 {
@@ -53,6 +54,23 @@ class Channel
         wake_idx_ = index;
     }
 
+    /**
+     * Registers the receiver with its network's arrival scheduler:
+     * each send posts a wake at the delivery cycle (setting `bit` in
+     * the receiver's pending-port word) instead of marking the
+     * receiver immediately, so an idle receiver sleeps until the item
+     * actually arrives.  Optional; without a scheduler the channel
+     * falls back to mark-on-send through the wake target.
+     */
+    void
+    setArrivalTarget(ArrivalScheduler *sched, unsigned index,
+                     std::uint32_t bit)
+    {
+        sched_ = sched;
+        sched_idx_ = index;
+        sched_bit_ = bit;
+    }
+
     /** Sends an item at cycle `now`; it arrives at now + latency. */
     void
     send(T item, Cycle now)
@@ -61,7 +79,9 @@ class Channel
                      "channel accepts at most one item per cycle");
         last_send_ = now;
         queue_.emplace_back(Entry{now + latency_, std::move(item)});
-        if (wake_set_)
+        if (sched_)
+            sched_->schedule(now + latency_, sched_idx_, sched_bit_);
+        else if (wake_set_)
             wake_set_->mark(wake_idx_);
     }
 
@@ -86,8 +106,16 @@ class Channel
     setStalled(bool stalled)
     {
         stalled_ = stalled;
-        if (!stalled && wake_set_ && !queue_.empty())
-            wake_set_->mark(wake_idx_);
+        if (!stalled && !queue_.empty()) {
+            // The backlog may already be matured (its wheel wakes
+            // fired into a stalled channel and were consumed), so the
+            // scheduler path must set the pending bit now rather than
+            // wait for a wheel slot that will never fire again.
+            if (sched_)
+                sched_->wakeNow(sched_idx_, sched_bit_);
+            else if (wake_set_)
+                wake_set_->mark(wake_idx_);
+        }
     }
 
     /** @return true while a link-stall fault is active. */
@@ -114,6 +142,25 @@ class Channel
     earliestArrival() const
     {
         return queue_.empty() ? INVALID_CYCLE : queue_.front().arrival;
+    }
+
+    /**
+     * Restore-path helper: re-posts one scheduler wake per in-flight
+     * item (the entries live in the wheel, which is not serialized —
+     * it is rebuilt from the channels' arrival cycles).  Without a
+     * scheduler, falls back to marking the receiver so wake-on-send
+     * networks pick the restored backlog up.
+     */
+    void
+    reschedulePending()
+    {
+        if (sched_) {
+            queue_.forEach([&](const Entry &e) {
+                sched_->schedule(e.arrival, sched_idx_, sched_bit_);
+            });
+        } else if (wake_set_ && !queue_.empty()) {
+            wake_set_->mark(wake_idx_);
+        }
     }
 
     /** Serializes dynamic state; `saveItem(w, item)` encodes one
@@ -160,6 +207,9 @@ class Channel
     RingQueue<Entry> queue_;
     ActiveSet *wake_set_ = nullptr;
     unsigned wake_idx_ = 0;
+    ArrivalScheduler *sched_ = nullptr;
+    unsigned sched_idx_ = 0;
+    std::uint32_t sched_bit_ = 0;
 };
 
 /** Credit message: one freed buffer slot on a given VC. */

@@ -408,6 +408,8 @@ struct Toggles
      *  bit-exactness makes the resolved count irrelevant to results,
      *  and the shadow combos below pin explicit counts either way). */
     unsigned cycleThreads = 0;
+    /** Arrival-scheduled channels (sleep-until-arrival wheel). */
+    bool arrivalSleep = true;
 
     std::string
     describe() const
@@ -420,6 +422,8 @@ struct Toggles
         s += poolBypass ? "1" : "0";
         s += " cycleThreads=";
         s += std::to_string(cycleThreads);
+        s += " arrivalSleep=";
+        s += arrivalSleep ? "1" : "0";
         return s;
     }
 };
@@ -442,6 +446,7 @@ shadowRun(const DiffConfig &cfg, const Toggles &toggles,
     np.idleSkip = toggles.idleSkip;
     np.validate = toggles.validate;
     np.cycleThreads = toggles.cycleThreads;
+    np.arrivalSleep = toggles.arrivalSleep;
     np.watchdogWindow = DRAIN_CAP / 2;
 
     bool watchdog_fired = false;
@@ -1071,19 +1076,23 @@ runDiff(const DiffConfig &cfg, const DiffOptions &opts)
                           rep.violations);
     }
 
-    // Oracle 5: idle-skip / validate / pool-bypass / cycle-thread
-    // invariance.  The parallel engine claims bit-identical results
-    // for any thread count; every fuzzed config re-proves it.
+    // Oracle 5: idle-skip / validate / pool-bypass / cycle-thread /
+    // arrival-sleep invariance.  The parallel engine claims
+    // bit-identical results for any thread count and the arrival
+    // wheel claims bit-identical results either way; every fuzzed
+    // config re-proves both.
     std::vector<Toggles> combos;
     if (opts.thorough) {
-        for (int i = 1; i < 16; ++i)
+        for (int i = 1; i < 32; ++i)
             combos.push_back(Toggles{(i & 1) != 0, (i & 2) != 0,
                                      (i & 4) != 0,
-                                     (i & 8) != 0 ? 2u : 1u});
+                                     (i & 8) != 0 ? 2u : 1u,
+                                     (i & 16) == 0});
     } else {
-        combos.push_back(Toggles{false, true, true, 1});
-        combos.push_back(Toggles{true, false, false, 2});
-        combos.push_back(Toggles{false, true, true, 2});
+        combos.push_back(Toggles{false, true, true, 1, true});
+        combos.push_back(Toggles{true, false, false, 2, true});
+        combos.push_back(Toggles{false, true, true, 2, false});
+        combos.push_back(Toggles{true, false, false, 1, false});
     }
     for (const Toggles &t : combos) {
         if (full(rep.violations))

@@ -383,11 +383,21 @@ InvariantChecker::checkConservation(std::vector<Violation> &out) const
 }
 
 void
-InvariantChecker::checkActivity(std::vector<Violation> &out) const
+InvariantChecker::checkActivity(Cycle now,
+                                std::vector<Violation> &out) const
 {
     if (router_set_) {
         for (std::size_t n = 0; n < routers_.size(); ++n) {
-            if (routers_[n]->couldWork() &&
+            // couldWork() is mode-appropriate: under arrival-scheduled
+            // channels it reports buffered flits or matured pending
+            // bits (a sleeping router with only future in-flight
+            // arrivals is legitimately retired — the wheel wakes it),
+            // under wake-on-send it scans every attached channel.  The
+            // deep matured-arrival scan backstops the wheel itself: a
+            // lost entry leaves a matured flit with no pending bit,
+            // which this check still flags.
+            if ((routers_[n]->couldWork() ||
+                 routers_[n]->hasMaturedArrival(now)) &&
                 !router_set_->test(static_cast<unsigned>(n))) {
                 addViolation(out, Violation::Kind::ACTIVITY,
                              formatMessage(
@@ -415,7 +425,6 @@ InvariantChecker::checkActivity(std::vector<Violation> &out) const
 std::vector<Violation>
 InvariantChecker::audit(Cycle now) const
 {
-    (void)now;
     std::vector<Violation> out;
     for (const Router *r : routers_)
         checkRouter(*r, out);
@@ -423,7 +432,7 @@ InvariantChecker::audit(Cycle now) const
         checkLink(link, out);
     checkNis(out);
     checkConservation(out);
-    checkActivity(out);
+    checkActivity(now, out);
     return out;
 }
 

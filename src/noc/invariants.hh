@@ -142,7 +142,7 @@ class InvariantChecker
                    std::vector<Violation> &out) const;
     void checkNis(std::vector<Violation> &out) const;
     void checkConservation(std::vector<Violation> &out) const;
-    void checkActivity(std::vector<Violation> &out) const;
+    void checkActivity(Cycle now, std::vector<Violation> &out) const;
 
     unsigned vc_depth_;
     std::vector<const Router *> routers_;

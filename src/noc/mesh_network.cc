@@ -6,6 +6,8 @@
 #include "noc/mesh_network.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 
 #include "common/parallel.hh"
@@ -15,6 +17,32 @@
 
 namespace tenoc
 {
+
+namespace
+{
+
+/** TENOC_ARRIVAL_SLEEP=0/1 overrides MeshNetworkParams::arrivalSleep
+ *  everywhere (the equivalence tests cross both settings); -1 = unset. */
+int
+arrivalSleepEnvOverride()
+{
+    const char *env = std::getenv("TENOC_ARRIVAL_SLEEP");
+    if (!env || !*env)
+        return -1;
+    return std::string(env) == "0" ? 0 : 1;
+}
+
+/** Monotonic nanosecond stamp for the --profile phase breakdown. */
+std::uint64_t
+profileNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
 
 void
 validateMeshNetworkParams(const MeshNetworkParams &params)
@@ -127,6 +155,8 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
     validateMeshNetworkParams(params_);
     if (validateForcedByEnv())
         params_.validate = true;
+    if (const int arr = arrivalSleepEnvOverride(); arr >= 0)
+        params_.arrivalSleep = arr != 0;
     if (params_.validate) {
         // Packets are pooled thread-locally; arm double-release
         // detection on this thread's pool (left on afterwards — purely
@@ -154,6 +184,13 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
 
     router_active_.resize(topo_.numNodes());
     ni_active_.resize(topo_.numNodes());
+    if (params_.arrivalSleep) {
+        // All channels share one latency, so the wheel is sized once;
+        // configure before the routers so setArrival can hand each its
+        // scheduler slot ahead of channel wiring.
+        arrival_.configure(topo_.numNodes(), params_.channelLatency,
+                           &router_active_);
+    }
 
     // Routers.  Geometry pre-pass first: per-node parameters decide
     // how many input/output VCs each router contributes, the slab
@@ -200,6 +237,8 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
         in_base += (NUM_DIRS + rp.numInjPorts) * vcs;
         out_base += (NUM_DIRS + rp.numEjPorts) * vcs;
         routers_[n]->setActivity(&router_active_, n);
+        if (params_.arrivalSleep)
+            routers_[n]->setArrival(&arrival_, n);
         routers_[n]->setTraversalCounter(&flits_traversed_total_);
         checker_->addRouter(routers_[n].get());
         if (faults_)
@@ -233,11 +272,23 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
         }
     }
 
-    // Network interfaces.
+    // Network interfaces, viewing one shared SoA arena (class queues,
+    // active-packet slots, ejection rings; see NiSlabs) sized from the
+    // same geometry pre-pass as the router slabs.
+    std::vector<unsigned> inj_ports(topo_.numNodes());
+    std::vector<unsigned> ej_ports(topo_.numNodes());
+    for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+        inj_ports[n] = node_params[n].numInjPorts;
+        ej_ports[n] = node_params[n].numEjPorts;
+    }
+    ni_slabs_.configure(inj_ports, vcs, params_.protoClasses,
+                        params_.ni.injQueueCap, ej_ports,
+                        params_.ni.ejBufferFlits);
     nis_.reserve(topo_.numNodes());
     for (NodeId n = 0; n < topo_.numNodes(); ++n) {
         nis_.push_back(std::make_unique<NetworkInterface>(
-            n, *routers_[n], vc_map_, params_.ni, *stats_));
+            n, *routers_[n], vc_map_, params_.ni, *stats_,
+            &ni_slabs_, n));
         routers_[n]->setEjectionSink(nis_[n].get());
         nis_[n]->setActivity(&ni_active_, n);
         nis_[n]->setInFlightCounter(&inflight_);
@@ -269,6 +320,8 @@ MeshNetwork::MeshNetwork(const MeshNetworkParams &params,
         }
         for (auto &ni : nis_)
             ni->setDeferredStats(true);
+        if (arrival_.configured())
+            arrival_.enableDeferred();
     }
 }
 
@@ -307,15 +360,32 @@ MeshNetwork::cycle(Cycle now)
         engineCycle(now);
         return;
     }
+    PhaseProfile *prof = profile_;
+    std::uint64_t t0 = prof ? profileNowNs() : 0;
+    const auto lap = [&](std::uint64_t PhaseProfile::*slot) {
+        if (!prof)
+            return;
+        const std::uint64_t t1 = profileNowNs();
+        prof->*slot += t1 - t0;
+        t0 = t1;
+    };
+    if (prof)
+        ++prof->cycles;
     if (count_cycles_)
         ++stats_->cycles;
     if (faults_)
         faults_->tick(now);
+    // Deliver this cycle's channel arrivals first: matured wheel
+    // entries set their receiver's pending-port bits and mark it
+    // active before either scheduler branch reads the masks.
+    if (arrival_.configured())
+        arrival_.fire(now);
     // Hoisted fault gate: routerFrozen() is consulted per router tick
     // only while a freeze is actually active; otherwise the fault hook
     // costs this single pointer test per cycle.
     const FaultEngine *fe =
         (faults_ && faults_->anyFrozen()) ? faults_.get() : nullptr;
+    lap(&PhaseProfile::bookkeepingNs);
     if (!params_.idleSkip) {
         // Reference scheduler: tick everything every cycle.  A frozen
         // router (ROUTER_FREEZE fault) is skipped entirely: its
@@ -324,8 +394,16 @@ MeshNetwork::cycle(Cycle now)
             if (!fe || !fe->routerFrozen(r->id()))
                 r->readInputs(now);
         }
-        for (auto &ni : nis_)
-            ni->injectPhase(now);
+        lap(&PhaseProfile::readInputsNs);
+        // The arena's contiguous pending counters gate the phase call:
+        // an NI with nothing queued or mid-injection is a guaranteed
+        // no-op (injectPhase early-outs on the same counter), so the
+        // sweep touches one cache-resident word per idle NI.
+        for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+            if (ni_slabs_.pendingInject[n] != 0)
+                nis_[n]->injectPhase(now);
+        }
+        lap(&PhaseProfile::injectNs);
         if (tracer_attached_) {
             // Legacy whole-router ticks keep trace events in
             // per-router RC/VA/SA order.
@@ -353,9 +431,14 @@ MeshNetwork::cycle(Cycle now)
                     r->switchAllocate(now);
             }
         }
-        for (auto &ni : nis_)
-            ni->drainPhase(now);
+        lap(&PhaseProfile::computeNs);
+        for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+            if (ni_slabs_.ejOccupancy[n] != 0)
+                nis_[n]->drainPhase(now);
+        }
+        lap(&PhaseProfile::drainNs);
         postCycle(now);
+        lap(&PhaseProfile::bookkeepingNs);
         return;
     }
     // Idle-skip: tick only components that can make progress.  An idle
@@ -369,7 +452,12 @@ MeshNetwork::cycle(Cycle now)
         if (!fe || !fe->routerFrozen(n))
             routers_[n]->readInputs(now);
     });
-    ni_active_.forEach([&](unsigned n) { nis_[n]->injectPhase(now); });
+    lap(&PhaseProfile::readInputsNs);
+    ni_active_.forEach([&](unsigned n) {
+        if (ni_slabs_.pendingInject[n] != 0)
+            nis_[n]->injectPhase(now);
+    });
+    lap(&PhaseProfile::injectNs);
     if (tracer_attached_) {
         router_active_.forEach([&](unsigned n) {
             if (routers_[n]->bufferedFlits() &&
@@ -398,25 +486,47 @@ MeshNetwork::cycle(Cycle now)
                 routers_[n]->switchAllocate(now);
         });
     }
-    ni_active_.forEach([&](unsigned n) { nis_[n]->drainPhase(now); });
+    lap(&PhaseProfile::computeNs);
+    ni_active_.forEach([&](unsigned n) {
+        if (ni_slabs_.ejOccupancy[n] != 0)
+            nis_[n]->drainPhase(now);
+    });
+    lap(&PhaseProfile::drainNs);
     // Retire components that ran dry: a retired router/NI is re-marked
     // by the event that next gives it work (channel send, injection,
-    // ejection), never silently forgotten.  A frozen router retires
-    // only if it truly has no work (couldWork covers its buffers and
-    // channels whether or not it is being ticked).
+    // ejection — or, under arrivalSleep, the wheel at the arrival
+    // cycle), never silently forgotten.  A frozen router retires only
+    // if it truly has no work (couldWork covers its buffers and
+    // pending arrivals whether or not it is being ticked).
     router_active_.retireIf(
         [&](unsigned n) { return !routers_[n]->couldWork(); });
     ni_active_.retireIf([&](unsigned n) { return nis_[n]->idle(); });
     postCycle(now);
+    lap(&PhaseProfile::bookkeepingNs);
 }
 
 void
 MeshNetwork::engineCycle(Cycle now)
 {
+    PhaseProfile *prof = profile_;
+    std::uint64_t t0 = prof ? profileNowNs() : 0;
+    const auto lap = [&](std::uint64_t PhaseProfile::*slot) {
+        if (!prof)
+            return;
+        const std::uint64_t t1 = profileNowNs();
+        prof->*slot += t1 - t0;
+        t0 = t1;
+    };
+    if (prof)
+        ++prof->cycles;
     if (count_cycles_)
         ++stats_->cycles;
     if (faults_)
         faults_->tick(now);
+    // Matured channel arrivals mark their receivers before the masks
+    // freeze (and before the inline-run heuristic reads the popcounts).
+    if (arrival_.configured())
+        arrival_.fire(now);
     const FaultEngine *fe =
         (faults_ && faults_->anyFrozen()) ? faults_.get() : nullptr;
     const unsigned S = cycle_threads_;
@@ -442,9 +552,16 @@ MeshNetwork::engineCycle(Cycle now)
     // Freeze both masks: phase code reads the mask state the phase
     // started with (the serial scheduler's visibility, since a fresh
     // same-phase mark is always a no-op visit there), and new marks
-    // buffer per worker until the merges below.
+    // buffer per worker until the merges below.  The arrival wheel
+    // freezes too: worker-thread sends buffer their wheel entries per
+    // worker, merged once at the end of the cycle (every entry matures
+    // at >= now + 1, so that is early enough).
     router_active_.beginDeferred();
     ni_active_.beginDeferred();
+    const bool arr = arrival_.configured();
+    if (arr)
+        arrival_.beginDeferred();
+    lap(&PhaseProfile::bookkeepingNs);
 
     if (params_.idleSkip) {
         runPhase([&](unsigned s) {
@@ -454,15 +571,19 @@ MeshNetwork::engineCycle(Cycle now)
                     routers_[n]->readInputs(now);
             });
         });
+        lap(&PhaseProfile::readInputsNs);
         runPhase([&](unsigned s) {
             const auto [lo, hi] = parallel::shardRange(s, nodes, S);
             ni_active_.forEachInRange(lo, hi, [&](unsigned n) {
-                nis_[n]->injectPhase(now);
+                if (ni_slabs_.pendingInject[n] != 0)
+                    nis_[n]->injectPhase(now);
             });
         });
+        lap(&PhaseProfile::injectNs);
         // Injection wakes routers; compute must observe those marks
         // exactly like the serial scheduler's live mask does.
         router_active_.mergeDeferredMarks();
+        lap(&PhaseProfile::bookkeepingNs);
         runPhase([&](unsigned s) {
             const auto [lo, hi] = parallel::shardRange(s, nodes, S);
             if (tracer_attached_) {
@@ -492,16 +613,20 @@ MeshNetwork::engineCycle(Cycle now)
                     routers_[n]->switchAllocate(now);
             });
         });
+        lap(&PhaseProfile::computeNs);
         // Ejection (router -> NI) wakes NIs for the drain phase;
         // channel sends wake routers for the next cycle.
         router_active_.mergeDeferredMarks();
         ni_active_.mergeDeferredMarks();
+        lap(&PhaseProfile::bookkeepingNs);
         runPhase([&](unsigned s) {
             const auto [lo, hi] = parallel::shardRange(s, nodes, S);
             ni_active_.forEachInRange(lo, hi, [&](unsigned n) {
-                nis_[n]->drainPhase(now);
+                if (ni_slabs_.ejOccupancy[n] != 0)
+                    nis_[n]->drainPhase(now);
             });
         });
+        lap(&PhaseProfile::drainNs);
     } else {
         // Reference full sweep, sharded.  Marks still defer (the
         // channels are wired to the masks) so they merge at barriers
@@ -513,12 +638,17 @@ MeshNetwork::engineCycle(Cycle now)
                     routers_[n]->readInputs(now);
             }
         });
+        lap(&PhaseProfile::readInputsNs);
         runPhase([&](unsigned s) {
             const auto [lo, hi] = parallel::shardRange(s, nodes, S);
-            for (unsigned n = lo; n < hi; ++n)
-                nis_[n]->injectPhase(now);
+            for (unsigned n = lo; n < hi; ++n) {
+                if (ni_slabs_.pendingInject[n] != 0)
+                    nis_[n]->injectPhase(now);
+            }
         });
+        lap(&PhaseProfile::injectNs);
         router_active_.mergeDeferredMarks();
+        lap(&PhaseProfile::bookkeepingNs);
         runPhase([&](unsigned s) {
             const auto [lo, hi] = parallel::shardRange(s, nodes, S);
             if (tracer_attached_) {
@@ -541,19 +671,28 @@ MeshNetwork::engineCycle(Cycle now)
                     routers_[n]->switchAllocate(now);
             }
         });
+        lap(&PhaseProfile::computeNs);
         router_active_.mergeDeferredMarks();
         ni_active_.mergeDeferredMarks();
+        lap(&PhaseProfile::bookkeepingNs);
         runPhase([&](unsigned s) {
             const auto [lo, hi] = parallel::shardRange(s, nodes, S);
-            for (unsigned n = lo; n < hi; ++n)
-                nis_[n]->drainPhase(now);
+            for (unsigned n = lo; n < hi; ++n) {
+                if (ni_slabs_.ejOccupancy[n] != 0)
+                    nis_[n]->drainPhase(now);
+            }
         });
+        lap(&PhaseProfile::drainNs);
     }
 
     router_active_.endDeferred();
     ni_active_.endDeferred();
     router_active_.mergeDeferredMarks();
     ni_active_.mergeDeferredMarks();
+    if (arr) {
+        arrival_.endDeferred();
+        arrival_.mergeDeferred();
+    }
 
     // Fold per-shard traversal counts into the network total before
     // anything downstream (watchdog, telemetry, checker) reads it.
@@ -572,10 +711,13 @@ MeshNetwork::engineCycle(Cycle now)
         ni_active_.retireIf([&](unsigned n) { return nis_[n]->idle(); });
     }
 
-    if (defer_to_parent_)
+    if (defer_to_parent_) {
+        lap(&PhaseProfile::bookkeepingNs);
         return; // DoubleNetwork flushes and runs postCycle, in order
+    }
     flushEngineDeferred();
     postCycle(now);
+    lap(&PhaseProfile::bookkeepingNs);
 }
 
 void
@@ -1160,7 +1302,20 @@ MeshNetwork::save(SnapshotWriter &w) const
     // state, and keeping it out of the blob makes snapshots identical
     // across monitor configurations (validate on/off, watchdog
     // window), so a warm-up checkpoint can feed differently-monitored
-    // downstream runs bit-for-bit.
+    // downstream runs bit-for-bit.  The arrival wheel is derived state
+    // too: at a cycle boundary every matured arrival has been drained
+    // (fire marks its receiver and readInputs consumes the backlog in
+    // the same cycle; stalling faults cannot be checkpointed), so the
+    // pending words are provably all-zero and the wheel holds only
+    // future entries, rebuilt on restore from the channels' recorded
+    // arrival cycles.
+    if (arrival_.configured()) {
+        for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+            tenoc_assert(arrival_.pending(n) == 0,
+                         "arrival pending word nonzero at checkpoint"
+                         " (router ", n, ")");
+        }
+    }
     saveU64Vector(w, router_active_.words());
     saveU64Vector(w, ni_active_.words());
     for (const auto &router : routers_)
@@ -1243,6 +1398,21 @@ MeshNetwork::restore(SnapshotReader &r)
             return c;
         });
     }
+    // The arrival wheel is derived state: reset it and re-post one
+    // wake per restored in-flight item.  The reset wheel is unprimed,
+    // so its first fire() does a full sweep — arbitrary resume cycles
+    // are safe.  Without a scheduler the fallback marks the receiver
+    // of every non-empty channel, which also heals a snapshot taken
+    // under arrivalSleep into a wake-on-send network (the saving run's
+    // active words do not cover receivers asleep until an arrival).
+    if (arrival_.configured()) {
+        arrival_.configure(topo_.numNodes(), params_.channelLatency,
+                           &router_active_);
+    }
+    for (auto &ch : flit_channels_)
+        ch.reschedulePending();
+    for (auto &ch : credit_channels_)
+        ch.reschedulePending();
     if (stats_ == owned_stats_.get())
         stats_->restore(r);
     r.tag("MEND");

@@ -52,6 +52,18 @@ struct MeshNetworkParams
      * equivalence regression and the noc_speed benchmark).
      */
     bool idleSkip = true;
+    /**
+     * Arrival-scheduled channel delivery: every Channel::send posts a
+     * wake at its exact delivery cycle into a per-network timing wheel
+     * (noc/arrival.hh) instead of marking the receiver immediately, so
+     * readInputs drains only ports with a matured front entry and a
+     * retired router sleeps until its earliest in-flight arrival.
+     * Bit-exact with mark-on-send — every tick it skips is a no-op
+     * (see docs/performance.md, "Sleep-until-arrival") — so this is on
+     * by default; TENOC_ARRIVAL_SLEEP=0/1 in the environment overrides
+     * it everywhere (equivalence tests cross both settings).
+     */
+    bool arrivalSleep = true;
     NiParams ni;
     std::uint64_t seed = 1;
     /**
@@ -101,6 +113,22 @@ struct MeshNetworkParams
  * that want to fail before constructing anything.
  */
 void validateMeshNetworkParams(const MeshNetworkParams &params);
+
+/**
+ * Per-phase wall-time breakdown of MeshNetwork::cycle, accumulated
+ * while a profile is attached (noc_speed --profile).  "Bookkeeping"
+ * covers everything outside the four component phases: arrival-wheel
+ * firing, fault ticks, deferred-mark merges, retirement and postCycle.
+ */
+struct PhaseProfile
+{
+    std::uint64_t readInputsNs = 0;
+    std::uint64_t injectNs = 0;
+    std::uint64_t computeNs = 0;
+    std::uint64_t drainNs = 0;
+    std::uint64_t bookkeepingNs = 0;
+    std::uint64_t cycles = 0;
+};
 
 /** Cycle-accurate mesh NoC. */
 class MeshNetwork : public Network
@@ -180,6 +208,10 @@ class MeshNetwork : public Network
     /** Resolved intra-cycle thread count (1 = serial scheduler). */
     unsigned cycleThreads() const { return cycle_threads_; }
 
+    /** Attaches (or detaches, with nullptr) a per-phase wall-time
+     *  profile accumulated by every subsequent cycle() call. */
+    void setPhaseProfile(PhaseProfile *profile) { profile_ = profile; }
+
     // --- checkpoint/restore ---
     /** Serializes all dynamic network state (routers, NIs, channels,
      *  activity masks, counters, RNG).  Must be called at a cycle
@@ -223,6 +255,9 @@ class MeshNetwork : public Network
      * outlives them on destruction.
      */
     VcSlabs slabs_;
+    /** SoA arena for the NIs' hot state (class queues, active packet
+     *  slots, ejection rings); declared before the NIs that view it. */
+    NiSlabs ni_slabs_;
 
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<NetworkInterface>> nis_;
@@ -242,6 +277,11 @@ class MeshNetwork : public Network
     ActiveSet router_active_;
     /** NIs with packets queued/in flight or ejection flits buffered. */
     ActiveSet ni_active_;
+    /** Arrival-cycle wake scheduler for all channels (arrivalSleep);
+     *  unconfigured when the feature is disabled. */
+    ArrivalScheduler arrival_;
+    /** Per-phase wall-time accumulator; null unless profiling. */
+    PhaseProfile *profile_ = nullptr;
     /** Packets inside the network (enqueue .. tail ejection); makes
      *  drained() O(1). */
     std::uint64_t inflight_ = 0;

@@ -1,6 +1,12 @@
 /**
  * @file
  * NetworkInterface implementation.
+ *
+ * All hot containers (class queues, active packet slots, ejection
+ * buffers) live in a NiSlabs arena — see slab.hh — so the phase
+ * methods stream flat arrays instead of chasing deque blocks.  The
+ * serialization order of save()/restore() is unchanged from the
+ * per-object layout, so the snapshot format is unaffected.
  */
 
 #include "noc/network_interface.hh"
@@ -16,16 +22,35 @@ namespace tenoc
 NetworkInterface::NetworkInterface(NodeId node, Router &router,
                                    const VcMap &vc_map,
                                    const NiParams &params,
-                                   NetStats &stats)
+                                   NetStats &stats, NiSlabs *slab,
+                                   unsigned slab_index)
     : node_(node), router_(router), vc_map_(vc_map), params_(params),
       stats_(stats)
 {
-    inj_queues_.resize(vc_map_.protoClasses);
+    ports_ = router_.params().numInjPorts;
+    ej_ports_ = router_.params().numEjPorts;
+    vcs_ = vc_map_.numVcs();
+    if (slab) {
+        nslab_ = slab;
+        ni_ = slab_index;
+        tenoc_assert(nslab_->classes() == vc_map_.protoClasses &&
+                         nslab_->injCap() == params_.injQueueCap &&
+                         nslab_->ejCap() == params_.ejBufferFlits,
+                     "NI slab layout mismatch at node ", node_);
+    } else {
+        owned_nslab_ = std::make_unique<NiSlabs>();
+        owned_nslab_->configure(
+            std::vector<unsigned>{ports_}, vcs_, vc_map_.protoClasses,
+            params_.injQueueCap, std::vector<unsigned>{ej_ports_},
+            params_.ejBufferFlits);
+        nslab_ = owned_nslab_.get();
+        ni_ = 0;
+    }
+    qbase_ = std::size_t{ni_} * vc_map_.protoClasses;
+    sbase_ = nslab_->slotBase[ni_];
+    ebase_ = nslab_->ejPortBase[ni_];
     lane_rr_.assign(vc_map_.protoClasses, 0);
-    active_.assign(router_.params().numInjPorts,
-                   std::vector<ActivePacket>(vc_map_.numVcs()));
-    vc_rr_.assign(router_.params().numInjPorts, 0);
-    ej_bufs_.resize(router_.params().numEjPorts);
+    vc_rr_.assign(ports_, 0);
 }
 
 bool
@@ -33,7 +58,7 @@ NetworkInterface::canInject(int proto_class) const
 {
     const auto cls =
         static_cast<unsigned>(proto_class) % vc_map_.protoClasses;
-    return inj_queues_[cls].size() < params_.injQueueCap;
+    return nslab_->qSize(qbase_ + cls) < params_.injQueueCap;
 }
 
 unsigned
@@ -41,7 +66,7 @@ NetworkInterface::injectSpace(int proto_class) const
 {
     const auto cls =
         static_cast<unsigned>(proto_class) % vc_map_.protoClasses;
-    const auto used = inj_queues_[cls].size();
+    const auto used = nslab_->qSize(qbase_ + cls);
     return used >= params_.injQueueCap
         ? 0 : static_cast<unsigned>(params_.injQueueCap - used);
 }
@@ -53,12 +78,12 @@ NetworkInterface::enqueue(PacketPtr pkt, Cycle now)
     tenoc_assert(pkt->dst != node_, "self-addressed packet");
     const auto cls =
         static_cast<unsigned>(pkt->protoClass) % vc_map_.protoClasses;
-    tenoc_assert(inj_queues_[cls].size() < params_.injQueueCap,
+    tenoc_assert(nslab_->qSize(qbase_ + cls) < params_.injQueueCap,
                  "NI injection queue overflow at node ", node_);
     if (pkt->createdCycle == INVALID_CYCLE)
         pkt->createdCycle = now;
-    inj_queues_[cls].push_back(std::move(pkt));
-    ++pending_inject_;
+    nslab_->qPush(qbase_ + cls, std::move(pkt));
+    ++nslab_->pendingInject[ni_];
     if (inflight_)
         ++*inflight_;
     if (active_set_)
@@ -70,34 +95,34 @@ NetworkInterface::refillOne(Cycle now)
 {
     (void)now;
     const unsigned classes = vc_map_.protoClasses;
-    const unsigned ports = static_cast<unsigned>(active_.size());
+    NiSlabs &s = *nslab_;
     for (unsigned i = 0; i < classes; ++i) {
         const unsigned cls = (class_rr_ + i) % classes;
-        if (inj_queues_[cls].empty())
+        const std::size_t q = qbase_ + cls;
+        if (s.qSize(q) == 0)
             continue;
-        const Packet &pkt = *inj_queues_[cls].front();
+        const Packet &pkt = *s.qFront(q);
         const unsigned base = vc_map_.baseVc(pkt);
         // Find a free (port, lane) slot for this packet's VC class,
         // round-robin over ports (Sec. IV-D) and lanes.
-        for (unsigned pi = 0; pi < ports; ++pi) {
-            const unsigned p = (port_rr_ + pi) % ports;
+        for (unsigned pi = 0; pi < ports_; ++pi) {
+            const unsigned p = (port_rr_ + pi) % ports_;
             for (unsigned li = 0; li < vc_map_.vcsPerClass; ++li) {
                 const unsigned lane =
                     (lane_rr_[cls] + li) % vc_map_.vcsPerClass;
                 const unsigned vc = base + lane;
-                auto &act = active_[p][vc];
-                if (act.valid)
+                const std::size_t slot = sbase_ + p * vcs_ + vc;
+                if (s.actValid[slot])
                     continue;
-                act.pkt = std::move(inj_queues_[cls].front());
-                inj_queues_[cls].pop_front();
-                makeFlits(act.pkt, act.flits);
-                act.next = 0;
-                act.valid = true;
-                for (auto &f : act.flits)
+                s.actPkt[slot] = s.qPop(q);
+                makeFlits(s.actPkt[slot], s.actFlits[slot]);
+                s.actNext[slot] = 0;
+                s.actValid[slot] = 1;
+                for (auto &f : s.actFlits[slot])
                     f.vc = vc;
                 class_rr_ = (cls + 1) % classes;
                 lane_rr_[cls] = (lane + 1) % vc_map_.vcsPerClass;
-                port_rr_ = (p + 1) % ports;
+                port_rr_ = (p + 1) % ports_;
                 return true;
             }
         }
@@ -108,27 +133,26 @@ NetworkInterface::refillOne(Cycle now)
 void
 NetworkInterface::injectPhase(Cycle now)
 {
-    if (pending_inject_ == 0)
+    NiSlabs &s = *nslab_;
+    if (s.pendingInject[ni_] == 0)
         return; // nothing queued and no packet mid-injection
     while (refillOne(now)) {
     }
-    const unsigned ports = static_cast<unsigned>(active_.size());
-    const unsigned vcs = vc_map_.numVcs();
-    for (unsigned p = 0; p < ports; ++p) {
+    for (unsigned p = 0; p < ports_; ++p) {
         // One flit per port per cycle (terminal bandwidth); pick the
         // next streamable VC round-robin.
-        for (unsigned vi = 0; vi < vcs; ++vi) {
-            const unsigned vc = (vc_rr_[p] + vi) % vcs;
-            auto &act = active_[p][vc];
-            if (!act.valid || router_.injFreeSlots(p, vc) == 0)
+        for (unsigned vi = 0; vi < vcs_; ++vi) {
+            const unsigned vc = (vc_rr_[p] + vi) % vcs_;
+            const std::size_t slot = sbase_ + p * vcs_ + vc;
+            if (!s.actValid[slot] || router_.injFreeSlots(p, vc) == 0)
                 continue;
-            Flit flit = act.flits[act.next];
-            if (flit.head && act.pkt->injectedCycle == INVALID_CYCLE) {
-                act.pkt->injectedCycle = now;
-                if (tracer_ && tracer_->wants(act.pkt->id)) {
-                    tracer_->complete("inject_queue", node_,
-                                      act.pkt->id,
-                                      act.pkt->createdCycle, now);
+            Flit flit = s.actFlits[slot][s.actNext[slot]];
+            PacketPtr &pkt = s.actPkt[slot];
+            if (flit.head && pkt->injectedCycle == INVALID_CYCLE) {
+                pkt->injectedCycle = now;
+                if (tracer_ && tracer_->wants(pkt->id)) {
+                    tracer_->complete("inject_queue", node_, pkt->id,
+                                      pkt->createdCycle, now);
                 }
             }
             if (defer_) {
@@ -143,24 +167,24 @@ NetworkInterface::injectPhase(Cycle now)
                     ++*net_flits_in_;
             }
             router_.injectFlit(p, std::move(flit), now);
-            ++act.next;
-            if (act.next == act.flits.size()) {
+            ++s.actNext[slot];
+            if (s.actNext[slot] == s.actFlits[slot].size()) {
                 if (defer_) {
                     ++delta_.packetsInjected;
-                    delta_.nodeInjBytes += act.pkt->sizeBytes;
+                    delta_.nodeInjBytes += pkt->sizeBytes;
                 } else {
                     ++stats_.packetsInjected;
-                    stats_.nodeInjectedBytes[node_] += act.pkt->sizeBytes;
+                    stats_.nodeInjectedBytes[node_] += pkt->sizeBytes;
                 }
                 // Reset in place: keep the flit vector's capacity so
                 // the next packet on this (port, VC) lane reuses it.
-                act.pkt.reset();
-                act.flits.clear();
-                act.next = 0;
-                act.valid = false;
-                --pending_inject_;
+                pkt.reset();
+                s.actFlits[slot].clear();
+                s.actNext[slot] = 0;
+                s.actValid[slot] = 0;
+                --s.pendingInject[ni_];
             }
-            vc_rr_[p] = (vc + 1) % vcs;
+            vc_rr_[p] = (vc + 1) % vcs_;
             break;
         }
     }
@@ -169,17 +193,17 @@ NetworkInterface::injectPhase(Cycle now)
 bool
 NetworkInterface::ejectReady(unsigned ej_port) const
 {
-    return ej_bufs_[ej_port].size() < params_.ejBufferFlits;
+    return nslab_->ejSize(ebase_ + ej_port) < params_.ejBufferFlits;
 }
 
 void
 NetworkInterface::ejectFlit(unsigned ej_port, Flit &&flit, Cycle now)
 {
     (void)now;
-    tenoc_assert(ej_bufs_[ej_port].size() < params_.ejBufferFlits,
+    tenoc_assert(nslab_->ejSize(ebase_ + ej_port) < params_.ejBufferFlits,
                  "ejection buffer overflow at node ", node_);
-    ej_bufs_[ej_port].push_back(std::move(flit));
-    ++ej_occupancy_;
+    nslab_->ejPush(ebase_ + ej_port, std::move(flit));
+    ++nslab_->ejOccupancy[ni_];
     if (active_set_)
         active_set_->mark(active_idx_);
 }
@@ -187,17 +211,18 @@ NetworkInterface::ejectFlit(unsigned ej_port, Flit &&flit, Cycle now)
 void
 NetworkInterface::drainPhase(Cycle now)
 {
-    if (ej_occupancy_ == 0)
+    NiSlabs &s = *nslab_;
+    if (s.ejOccupancy[ni_] == 0)
         return;
-    for (auto &buf : ej_bufs_) {
-        if (buf.empty())
+    for (unsigned p = 0; p < ej_ports_; ++p) {
+        const std::size_t ring = ebase_ + p;
+        if (s.ejSize(ring) == 0)
             continue;
-        Flit &f = buf.front();
+        const Flit &f = s.ejFront(ring);
         if (f.head && sink_ && !sink_->tryReserve(*f.pkt))
             continue; // node backpressure (e.g. MC queue full)
-        Flit flit = std::move(buf.front());
-        buf.pop_front();
-        --ej_occupancy_;
+        Flit flit = s.ejPop(ring);
+        --s.ejOccupancy[ni_];
         if (defer_) {
             delta_.dirty = true;
             ++delta_.flitsEjected;
@@ -272,7 +297,8 @@ NetworkInterface::drainPhase(Cycle now)
 bool
 NetworkInterface::idle() const
 {
-    return pending_inject_ == 0 && ej_occupancy_ == 0;
+    return nslab_->pendingInject[ni_] == 0 &&
+           nslab_->ejOccupancy[ni_] == 0;
 }
 
 void
@@ -329,9 +355,10 @@ NetworkInterface::flushDeferredDeliveries()
 NiAuditInfo
 NetworkInterface::audit() const
 {
+    const NiSlabs &s = *nslab_;
     NiAuditInfo info;
-    info.pendingInject = pending_inject_;
-    info.ejOccupancyCounter = ej_occupancy_;
+    info.pendingInject = s.pendingInject[ni_];
+    info.ejOccupancyCounter = s.ejOccupancy[ni_];
     info.ejCapacity = params_.ejBufferFlits;
     info.idle = idle();
     auto track = [&info](const Packet &pkt) {
@@ -341,28 +368,30 @@ NetworkInterface::audit() const
             info.oldestCreated = pkt.createdCycle;
         }
     };
-    for (const auto &q : inj_queues_) {
-        info.queuedPackets += static_cast<unsigned>(q.size());
-        for (const auto &pkt : q)
-            track(*pkt);
+    for (unsigned c = 0; c < vc_map_.protoClasses; ++c) {
+        info.queuedPackets += s.qSize(qbase_ + c);
+        s.forEachQueued(qbase_ + c,
+                        [&](const PacketPtr &pkt) { track(*pkt); });
     }
-    for (const auto &port : active_) {
-        for (const auto &act : port) {
-            if (!act.valid)
+    for (unsigned p = 0; p < ports_; ++p) {
+        for (unsigned vc = 0; vc < vcs_; ++vc) {
+            const std::size_t slot = sbase_ + p * vcs_ + vc;
+            if (!s.actValid[slot])
                 continue;
             ++info.activeSlots;
-            track(*act.pkt);
+            track(*s.actPkt[slot]);
         }
     }
-    for (const auto &buf : ej_bufs_) {
-        info.ejFlits += static_cast<unsigned>(buf.size());
-        info.maxEjPortOccupancy = std::max(
-            info.maxEjPortOccupancy, static_cast<unsigned>(buf.size()));
-        for (const auto &flit : buf) {
+    for (unsigned p = 0; p < ej_ports_; ++p) {
+        const std::size_t ring = ebase_ + p;
+        info.ejFlits += s.ejSize(ring);
+        info.maxEjPortOccupancy =
+            std::max(info.maxEjPortOccupancy, s.ejSize(ring));
+        s.forEachEjFlit(ring, [&](const Flit &flit) {
             if (flit.tail)
                 ++info.ejTails;
             track(*flit.pkt);
-        }
+        });
     }
     return info;
 }
@@ -370,26 +399,32 @@ NetworkInterface::audit() const
 void
 NetworkInterface::save(SnapshotWriter &w) const
 {
+    // Serialization order matches the original per-object layout
+    // exactly, so moving the containers into the arena did not bump
+    // the snapshot format.
+    const NiSlabs &s = *nslab_;
     w.tag("NIFC");
     tenoc_assert(!delta_.dirty, "NI snapshot with pending deferred stats");
-    w.u32(pending_inject_);
-    w.u32(ej_occupancy_);
-    w.u64(inj_queues_.size());
-    for (const auto &q : inj_queues_) {
-        w.u64(q.size());
-        for (const PacketPtr &pkt : q)
+    w.u32(s.pendingInject[ni_]);
+    w.u32(s.ejOccupancy[ni_]);
+    w.u64(vc_map_.protoClasses);
+    for (unsigned c = 0; c < vc_map_.protoClasses; ++c) {
+        w.u64(s.qSize(qbase_ + c));
+        s.forEachQueued(qbase_ + c, [&](const PacketPtr &pkt) {
             savePacket(w, pkt);
+        });
     }
-    for (const auto &port : active_) {
-        for (const ActivePacket &act : port) {
-            w.boolean(act.valid);
-            if (!act.valid)
+    for (unsigned p = 0; p < ports_; ++p) {
+        for (unsigned vc = 0; vc < vcs_; ++vc) {
+            const std::size_t slot = sbase_ + p * vcs_ + vc;
+            w.boolean(s.actValid[slot] != 0);
+            if (!s.actValid[slot])
                 continue;
-            savePacket(w, act.pkt);
-            w.u64(act.flits.size());
-            for (const Flit &flit : act.flits)
+            savePacket(w, s.actPkt[slot]);
+            w.u64(s.actFlits[slot].size());
+            for (const Flit &flit : s.actFlits[slot])
                 saveFlit(w, flit);
-            w.u32(act.next);
+            w.u32(s.actNext[slot]);
         }
     }
     for (const unsigned rr : lane_rr_)
@@ -398,43 +433,48 @@ NetworkInterface::save(SnapshotWriter &w) const
         w.u32(rr);
     w.u32(class_rr_);
     w.u32(port_rr_);
-    for (const auto &buf : ej_bufs_) {
-        w.u64(buf.size());
-        for (const Flit &flit : buf)
-            saveFlit(w, flit);
+    for (unsigned p = 0; p < ej_ports_; ++p) {
+        w.u64(s.ejSize(ebase_ + p));
+        s.forEachEjFlit(ebase_ + p,
+                        [&](const Flit &flit) { saveFlit(w, flit); });
     }
 }
 
 void
 NetworkInterface::restore(SnapshotReader &r)
 {
+    NiSlabs &s = *nslab_;
     r.tag("NIFC");
-    pending_inject_ = r.u32();
-    ej_occupancy_ = r.u32();
+    s.pendingInject[ni_] = r.u32();
+    s.ejOccupancy[ni_] = r.u32();
     const std::uint64_t classes = r.u64();
-    tenoc_assert(classes == inj_queues_.size(),
+    tenoc_assert(classes == vc_map_.protoClasses,
                  "NI class count mismatch");
-    for (auto &q : inj_queues_) {
-        q.clear();
+    for (unsigned c = 0; c < vc_map_.protoClasses; ++c) {
+        const std::size_t q = qbase_ + c;
+        while (s.qSize(q) != 0)
+            s.qPop(q);
         const std::uint64_t n = r.u64();
         for (std::uint64_t i = 0; i < n; ++i)
-            q.push_back(loadPacket(r));
+            s.qPush(q, loadPacket(r));
     }
-    for (auto &port : active_) {
-        for (ActivePacket &act : port) {
-            act.valid = r.boolean();
-            if (!act.valid) {
-                act.pkt.reset();
-                act.flits.clear();
-                act.next = 0;
+    for (unsigned p = 0; p < ports_; ++p) {
+        for (unsigned vc = 0; vc < vcs_; ++vc) {
+            const std::size_t slot = sbase_ + p * vcs_ + vc;
+            const bool valid = r.boolean();
+            s.actValid[slot] = valid ? 1 : 0;
+            if (!valid) {
+                s.actPkt[slot].reset();
+                s.actFlits[slot].clear();
+                s.actNext[slot] = 0;
                 continue;
             }
-            act.pkt = loadPacket(r);
-            act.flits.clear();
+            s.actPkt[slot] = loadPacket(r);
+            s.actFlits[slot].clear();
             const std::uint64_t n = r.u64();
             for (std::uint64_t i = 0; i < n; ++i)
-                act.flits.push_back(loadFlit(r));
-            act.next = r.u32();
+                s.actFlits[slot].push_back(loadFlit(r));
+            s.actNext[slot] = r.u32();
         }
     }
     for (unsigned &rr : lane_rr_)
@@ -443,11 +483,13 @@ NetworkInterface::restore(SnapshotReader &r)
         rr = r.u32();
     class_rr_ = r.u32();
     port_rr_ = r.u32();
-    for (auto &buf : ej_bufs_) {
-        buf.clear();
+    for (unsigned p = 0; p < ej_ports_; ++p) {
+        const std::size_t ring = ebase_ + p;
+        while (s.ejSize(ring) != 0)
+            s.ejPop(ring);
         const std::uint64_t n = r.u64();
         for (std::uint64_t i = 0; i < n; ++i)
-            buf.push_back(loadFlit(r));
+            s.ejPush(ring, loadFlit(r));
     }
 }
 

@@ -18,7 +18,7 @@
 #define TENOC_NOC_NETWORK_INTERFACE_HH
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -63,9 +63,15 @@ class NetworkInterface : public EjectionSink
      * @param vc_map network VC organization
      * @param params NI configuration
      * @param stats shared network statistics block
+     * @param slab optional network-owned SoA arena (see NiSlabs);
+     *        must already be configured.  When null the NI owns a
+     *        private single-NI arena with the same layout (standalone
+     *        / unit-test use).
+     * @param slab_index this NI's index into `slab`'s per-NI arrays
      */
     NetworkInterface(NodeId node, Router &router, const VcMap &vc_map,
-                     const NiParams &params, NetStats &stats);
+                     const NiParams &params, NetStats &stats,
+                     NiSlabs *slab = nullptr, unsigned slab_index = 0);
 
     NodeId node() const { return node_; }
 
@@ -181,14 +187,6 @@ class NetworkInterface : public EjectionSink
         std::vector<std::pair<PacketPtr, Cycle>> deliveries;
     };
 
-    struct ActivePacket
-    {
-        PacketPtr pkt;
-        std::vector<Flit> flits;
-        unsigned next = 0;
-        bool valid = false;
-    };
-
     /** Tries to assign one queued packet to a free (port, vc) slot. */
     bool refillOne(Cycle now);
 
@@ -209,22 +207,30 @@ class NetworkInterface : public EjectionSink
     bool defer_ = false;
     NiStatDelta delta_;
 
-    /** Packets queued or mid-injection (inj queues + active slots). */
-    unsigned pending_inject_ = 0;
-    /** Flits buffered across all ejection ports. */
-    unsigned ej_occupancy_ = 0;
+    /**
+     * SoA hot state: injection class queues, one in-flight packet per
+     * (injection port, VC) — which removes NI head-of-line blocking
+     * while keeping the 1 flit/cycle/port terminal bandwidth that
+     * multi-port MC routers raise — and per-port ejection rings, all
+     * stored in a NiSlabs arena (network-owned, or the private
+     * `owned_nslab_` for standalone NIs).  The pending-inject and
+     * ejection-occupancy counters live there too, so the network's
+     * phase loops early-out with one contiguous array read per NI.
+     */
+    std::unique_ptr<NiSlabs> owned_nslab_;
+    NiSlabs *nslab_ = nullptr;
+    unsigned ni_ = 0;       ///< index into the arena's per-NI arrays
+    std::size_t qbase_ = 0; ///< first class-queue index (ni * classes)
+    std::size_t sbase_ = 0; ///< first active-slot index
+    std::size_t ebase_ = 0; ///< first ejection-ring index
+    unsigned ports_ = 0;    ///< injection ports
+    unsigned ej_ports_ = 0; ///< ejection ports
+    unsigned vcs_ = 0;      ///< VCs per port
 
-    std::vector<std::deque<PacketPtr>> inj_queues_; ///< per class
-    /** One in-flight packet per (injection port, VC): removes NI
-     *  head-of-line blocking while keeping the 1 flit/cycle/port
-     *  terminal bandwidth that multi-port MC routers raise. */
-    std::vector<std::vector<ActivePacket>> active_; ///< [port][vc]
     std::vector<unsigned> lane_rr_;                 ///< per class
     std::vector<unsigned> vc_rr_;                   ///< per port
     unsigned class_rr_ = 0;
     unsigned port_rr_ = 0;
-
-    std::vector<std::deque<Flit>> ej_bufs_;         ///< per ej port
 };
 
 } // namespace tenoc

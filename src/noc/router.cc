@@ -87,6 +87,9 @@ Router::connectOutput(Direction d, Channel<Flit> *flit_out,
     tenoc_assert(d < NUM_DIRS, "invalid output direction");
     outputs_[d].flitOut = flit_out;
     outputs_[d].creditIn = credit_in;
+    if (arrival_sched_ && credit_in)
+        credit_in->setArrivalTarget(arrival_sched_, arrival_idx_,
+                                    arrivalCreditBit(d));
     for (unsigned vc = 0; vc < nvcs_; ++vc)
         slab_->outCredits[ov(d, vc)] = params_.vcDepth;
 }
@@ -98,6 +101,24 @@ Router::connectInput(Direction d, Channel<Flit> *flit_in,
     tenoc_assert(d < NUM_DIRS, "invalid input direction");
     in_links_[d].flitIn = flit_in;
     in_links_[d].creditOut = credit_out;
+    if (arrival_sched_ && flit_in)
+        flit_in->setArrivalTarget(arrival_sched_, arrival_idx_,
+                                  arrivalFlitBit(d));
+}
+
+void
+Router::setArrival(ArrivalScheduler *sched, unsigned idx)
+{
+    arrival_sched_ = sched;
+    arrival_idx_ = idx;
+    for (unsigned d = 0; d < NUM_DIRS; ++d) {
+        if (in_links_[d].flitIn)
+            in_links_[d].flitIn->setArrivalTarget(sched, idx,
+                                                  arrivalFlitBit(d));
+        if (outputs_[d].creditIn)
+            outputs_[d].creditIn->setArrivalTarget(sched, idx,
+                                                   arrivalCreditBit(d));
+    }
 }
 
 unsigned
@@ -133,6 +154,39 @@ Router::connectivityAllows(unsigned in, unsigned out) const
 void
 Router::readInputs(Cycle now)
 {
+    if (arrival_sched_) {
+        // Event-driven drain: only ports whose pending bit fired have
+        // a matured front entry; everything else is guaranteed to
+        // deliver nothing, so skipping the receive() poll is exact.
+        std::uint32_t bits = arrival_sched_->pending(arrival_idx_);
+        if (bits == 0)
+            return;
+        std::uint32_t keep = 0;
+        while (bits) {
+            const auto b =
+                static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            if (b < NUM_DIRS) {
+                Channel<Flit> *ch = in_links_[b].flitIn;
+                while (auto f = ch->receive(now))
+                    inputs_[b].push(std::move(*f), now);
+                // A stalled link keeps its matured backlog; the bit
+                // stays pending so the router keeps polling (exactly
+                // the cycles mark-on-send would have kept it awake).
+                if (ch->earliestArrival() <= now)
+                    keep |= arrivalFlitBit(b);
+            } else {
+                const unsigned d = b - NUM_DIRS;
+                Channel<Credit> *ch = outputs_[d].creditIn;
+                while (auto c = ch->receive(now))
+                    ++slab_->outCredits[ov(d, c->vc)];
+                if (ch->earliestArrival() <= now)
+                    keep |= arrivalCreditBit(d);
+            }
+        }
+        arrival_sched_->setPending(arrival_idx_, keep);
+        return;
+    }
     for (unsigned d = 0; d < NUM_DIRS; ++d) {
         if (in_links_[d].flitIn) {
             while (auto f = in_links_[d].flitIn->receive(now))
@@ -650,12 +704,37 @@ Router::empty() const
 bool
 Router::couldWork() const
 {
+    if (arrival_sched_) {
+        // Items merely in flight no longer hold the router awake: the
+        // arrival scheduler wakes it on the delivery cycle, so only
+        // buffered flits or matured, undrained arrivals count.
+        return arrival_sched_->pending(arrival_idx_) != 0 || !empty();
+    }
     if (!empty())
         return true;
     for (unsigned d = 0; d < NUM_DIRS; ++d) {
         if (in_links_[d].flitIn && !in_links_[d].flitIn->empty())
             return true;
         if (outputs_[d].creditIn && !outputs_[d].creditIn->empty())
+            return true;
+    }
+    return false;
+}
+
+bool
+Router::hasMaturedArrival(Cycle now) const
+{
+    // Clamp to the wheel's delivered-through horizon: an arrival due
+    // at a cycle fire() has not yet been asked for is legitimately
+    // still asleep, not a lost wake.
+    if (arrival_sched_)
+        now = std::min(now, arrival_sched_->firedThrough());
+    for (unsigned d = 0; d < NUM_DIRS; ++d) {
+        if (in_links_[d].flitIn &&
+            in_links_[d].flitIn->earliestArrival() <= now)
+            return true;
+        if (outputs_[d].creditIn &&
+            outputs_[d].creditIn->earliestArrival() <= now)
             return true;
     }
     return false;

@@ -138,6 +138,30 @@ class Router
         active_idx_ = idx;
     }
 
+    /**
+     * Registers this router with its network's arrival scheduler under
+     * receiver index `idx` and points every attached channel at it
+     * (channels attached later are pointed on connect).  readInputs
+     * then drains only ports whose pending bit is set — bit d for the
+     * flit link in direction d, bit NUM_DIRS+d for the returning
+     * credit link of output d — and couldWork becomes O(1).
+     */
+    void setArrival(ArrivalScheduler *sched, unsigned idx);
+
+    /** Pending-bit of the flit link arriving from direction `d`. */
+    static constexpr std::uint32_t
+    arrivalFlitBit(unsigned d)
+    {
+        return std::uint32_t{1} << d;
+    }
+
+    /** Pending-bit of the credit link returning on output `d`. */
+    static constexpr std::uint32_t
+    arrivalCreditBit(unsigned d)
+    {
+        return std::uint32_t{1} << (NUM_DIRS + d);
+    }
+
     /** Points router traversals at a network-level running counter so
      *  telemetry can sample total flit hops without re-summing. */
     void setTraversalCounter(std::uint64_t *c) { net_traversed_ = c; }
@@ -150,6 +174,15 @@ class Router
      * ticked, so skipping it is bit-exact.
      */
     bool couldWork() const;
+
+    /**
+     * @return true if any attached channel holds an item that has
+     * matured (arrival <= now) but has not been drained.  Used by the
+     * invariant checker's activity audit: an unmarked router may have
+     * items in flight (the arrival scheduler wakes it on the arrival
+     * cycle), but never a matured, undrained one.
+     */
+    bool hasMaturedArrival(Cycle now) const;
 
     // --- NI injection access (same node, zero-latency handshake) ---
     /** Free slots in injection-port buffer `inj` (0-based), VC `vc`. */
@@ -352,6 +385,8 @@ class Router
 
     ActiveSet *active_set_ = nullptr;
     unsigned active_idx_ = 0;
+    ArrivalScheduler *arrival_sched_ = nullptr;
+    unsigned arrival_idx_ = 0;
 
     // Allocation scratch, hoisted out of the per-cycle loops so the
     // hot path performs no heap allocation.

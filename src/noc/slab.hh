@@ -192,6 +192,203 @@ class VcSlabs
     bool validate_ = false;
 };
 
+/**
+ * SoA arena for one network's NI hot state, mirroring VcSlabs: all
+ * per-NI injection class queues, per-(port, VC) active-packet slots
+ * and per-port ejection buffers live in flat parallel arrays indexed
+ * in node order, replacing the per-object std::deque storage.  Every
+ * container is a fixed-capacity ring (the NI protocol already bounds
+ * class queues by injQueueCap and ejection ports by ejBufferFlits),
+ * so the steady state touches no heap.  Injection-port and
+ * ejection-port counts vary per node (multi-port MC routers), hence
+ * the per-NI base offsets.  Standalone NIs (unit tests) own a private
+ * arena with the same layout.
+ */
+class NiSlabs
+{
+  public:
+    NiSlabs() = default;
+
+    /**
+     * Allocates (or re-initializes) storage for one NI per entry of
+     * `inj_ports`/`ej_ports`: `classes` class queues of `inj_cap`
+     * packets each, inj_ports[n] * `vcs` active slots, and ej_ports[n]
+     * ejection rings of `ej_cap` flits.
+     */
+    void
+    configure(const std::vector<unsigned> &inj_ports, unsigned vcs,
+              unsigned classes, unsigned inj_cap,
+              const std::vector<unsigned> &ej_ports, unsigned ej_cap)
+    {
+        tenoc_assert(inj_ports.size() == ej_ports.size(),
+                     "NI slab port-count vectors disagree");
+        tenoc_assert(classes >= 1 && inj_cap >= 1 && ej_cap >= 1,
+                     "NI slab capacities must be >= 1");
+        const std::size_t nis = inj_ports.size();
+        classes_ = classes;
+        inj_cap_ = inj_cap;
+        ej_cap_ = ej_cap;
+        slotBase.resize(nis);
+        ejPortBase.resize(nis);
+        std::size_t slots = 0, eports = 0;
+        for (std::size_t n = 0; n < nis; ++n) {
+            slotBase[n] = slots;
+            ejPortBase[n] = eports;
+            slots += std::size_t{inj_ports[n]} * vcs;
+            eports += ej_ports[n];
+        }
+        pendingInject.assign(nis, 0);
+        ejOccupancy.assign(nis, 0);
+        const std::size_t queues = nis * classes;
+        injQHead.assign(queues, 0);
+        injQCount.assign(queues, 0);
+        // assign() releases packet references a re-used arena may
+        // still hold from its previous configuration.
+        injQ.assign(queues * inj_cap, PacketPtr{});
+        actValid.assign(slots, 0);
+        actNext.assign(slots, 0);
+        actPkt.assign(slots, PacketPtr{});
+        actFlits.assign(slots, std::vector<Flit>{});
+        ejHead.assign(eports, 0);
+        ejCount.assign(eports, 0);
+        ejFlits.assign(eports * ej_cap, Flit{});
+    }
+
+    unsigned classes() const { return classes_; }
+    unsigned injCap() const { return inj_cap_; }
+    unsigned ejCap() const { return ej_cap_; }
+
+    // --- injection class queues (index = ni * classes + class) ---
+
+    std::uint32_t qSize(std::size_t q) const { return injQCount[q]; }
+
+    void
+    qPush(std::size_t q, PacketPtr &&pkt)
+    {
+        const std::uint32_t count = injQCount[q];
+        tenoc_assert(count < inj_cap_, "NI slab class-queue overflow");
+        std::size_t pos = injQHead[q] + count;
+        if (pos >= inj_cap_)
+            pos -= inj_cap_;
+        injQ[q * inj_cap_ + pos] = std::move(pkt);
+        injQCount[q] = count + 1;
+    }
+
+    const PacketPtr &
+    qFront(std::size_t q) const
+    {
+        tenoc_assert(injQCount[q] != 0, "front() on empty class queue");
+        return injQ[q * inj_cap_ + injQHead[q]];
+    }
+
+    PacketPtr
+    qPop(std::size_t q)
+    {
+        tenoc_assert(injQCount[q] != 0, "pop() on empty class queue");
+        const std::uint32_t head = injQHead[q];
+        PacketPtr p = std::move(injQ[q * inj_cap_ + head]);
+        injQHead[q] = head + 1 == inj_cap_ ? 0 : head + 1;
+        --injQCount[q];
+        return p;
+    }
+
+    /** Calls f(pkt) for each queued packet of queue `q`, FIFO order. */
+    template <typename F>
+    void
+    forEachQueued(std::size_t q, F &&f) const
+    {
+        const std::size_t base = q * inj_cap_;
+        std::size_t pos = injQHead[q];
+        for (std::uint32_t i = 0; i < injQCount[q]; ++i) {
+            f(injQ[base + pos]);
+            if (++pos == inj_cap_)
+                pos = 0;
+        }
+    }
+
+    // --- ejection rings (index = ejPortBase[ni] + port) ---
+
+    std::uint32_t ejSize(std::size_t p) const { return ejCount[p]; }
+
+    void
+    ejPush(std::size_t p, Flit &&flit)
+    {
+        const std::uint32_t count = ejCount[p];
+        tenoc_assert(count < ej_cap_, "NI slab ejection-ring overflow");
+        std::size_t pos = ejHead[p] + count;
+        if (pos >= ej_cap_)
+            pos -= ej_cap_;
+        ejFlits[p * ej_cap_ + pos] = std::move(flit);
+        ejCount[p] = count + 1;
+    }
+
+    const Flit &
+    ejFront(std::size_t p) const
+    {
+        tenoc_assert(ejCount[p] != 0, "front() on empty ejection ring");
+        return ejFlits[p * ej_cap_ + ejHead[p]];
+    }
+
+    Flit
+    ejPop(std::size_t p)
+    {
+        tenoc_assert(ejCount[p] != 0, "pop() on empty ejection ring");
+        const std::uint32_t head = ejHead[p];
+        Flit f = std::move(ejFlits[p * ej_cap_ + head]);
+        ejHead[p] = head + 1 == ej_cap_ ? 0 : head + 1;
+        --ejCount[p];
+        return f;
+    }
+
+    /** Calls f(flit) for each buffered flit of ring `p`, FIFO order. */
+    template <typename F>
+    void
+    forEachEjFlit(std::size_t p, F &&f) const
+    {
+        const std::size_t base = p * ej_cap_;
+        std::size_t pos = ejHead[p];
+        for (std::uint32_t i = 0; i < ejCount[p]; ++i) {
+            f(ejFlits[base + pos]);
+            if (++pos == ej_cap_)
+                pos = 0;
+        }
+    }
+
+    // --- per-NI counters (contiguous early-out scans) ---
+    /// Packets queued or mid-injection at each NI.
+    std::vector<std::uint32_t> pendingInject;
+    /// Flits buffered across each NI's ejection ports.
+    std::vector<std::uint32_t> ejOccupancy;
+
+    // --- per-NI base offsets ---
+    /// First active-slot index of each NI (slots = port * vcs + vc).
+    std::vector<std::size_t> slotBase;
+    /// First ejection-ring index of each NI.
+    std::vector<std::size_t> ejPortBase;
+
+    // --- active packet slots (index = slotBase[ni] + port*vcs + vc) ---
+    std::vector<std::uint8_t> actValid;
+    std::vector<std::uint32_t> actNext;
+    std::vector<PacketPtr> actPkt;
+    /// Flitized packet; cleared (capacity kept) when the slot frees.
+    std::vector<std::vector<Flit>> actFlits;
+
+    // --- injection class-queue rings ---
+    std::vector<std::uint32_t> injQHead;
+    std::vector<std::uint32_t> injQCount;
+    std::vector<PacketPtr> injQ;
+
+    // --- ejection rings ---
+    std::vector<std::uint32_t> ejHead;
+    std::vector<std::uint32_t> ejCount;
+    std::vector<Flit> ejFlits;
+
+  private:
+    unsigned classes_ = 1;
+    unsigned inj_cap_ = 1;
+    unsigned ej_cap_ = 1;
+};
+
 } // namespace tenoc
 
 #endif // TENOC_NOC_SLAB_HH
